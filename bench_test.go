@@ -1,0 +1,294 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per table/figure, reduced scale per iteration — the same
+// code paths cmd/experiments runs at full scale), plus micro-benchmarks of
+// the core components and ablation benches for the design choices DESIGN.md
+// calls out.
+//
+//	go test -bench=. -benchmem
+package cvcp_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	root "cvcp"
+	"cvcp/internal/cluster/copkmeans"
+	"cvcp/internal/cluster/fosc"
+	"cvcp/internal/cluster/hierarchy"
+	"cvcp/internal/cluster/mpckmeans"
+	"cvcp/internal/cluster/optics"
+	"cvcp/internal/constraints"
+	corecvcp "cvcp/internal/cvcp"
+	"cvcp/internal/datagen"
+	"cvcp/internal/experiments"
+	"cvcp/internal/stats"
+)
+
+// benchConfig is the reduced-scale experiment configuration used by the
+// per-table/figure benchmarks: identical code paths, fewer repetitions.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Trials:     1,
+		ALOISets:   2,
+		ALOITrials: 1,
+		NFolds:     3,
+		Seed:       20140324,
+		Out:        io.Discard,
+	}
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	r, err := experiments.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per figure of the paper.
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// One benchmark per table of the paper.
+func BenchmarkTable1(b *testing.B)  { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)  { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)  { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)  { benchExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B)  { benchExperiment(b, "table8") }
+func BenchmarkTable9(b *testing.B)  { benchExperiment(b, "table9") }
+func BenchmarkTable10(b *testing.B) { benchExperiment(b, "table10") }
+func BenchmarkTable11(b *testing.B) { benchExperiment(b, "table11") }
+func BenchmarkTable12(b *testing.B) { benchExperiment(b, "table12") }
+func BenchmarkTable13(b *testing.B) { benchExperiment(b, "table13") }
+func BenchmarkTable14(b *testing.B) { benchExperiment(b, "table14") }
+func BenchmarkTable15(b *testing.B) { benchExperiment(b, "table15") }
+func BenchmarkTable16(b *testing.B) { benchExperiment(b, "table16") }
+
+// --- micro-benchmarks of the core components ---
+
+func BenchmarkOPTICS(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n    int
+	}{{"aloi125", 125}, {"ionosphere351", 351}} {
+		ds := datagen.Ionosphere(1)
+		x := ds.X[:size.n]
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := optics.Run(x, 6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDendrogramFromReachability(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	ord, err := optics.Run(ds.X, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hierarchy.FromReachability(ord); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFOSCExtract(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	ord, err := optics.Run(ds.X, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dend, err := hierarchy.FromReachability(ord)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRand(2)
+	cons := constraints.FromLabels(ds.SampleLabels(r, 0.2), ds.Y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fosc.Extract(dend, cons, fosc.Config{MinClusterSize: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPCKMeans(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	r := stats.NewRand(2)
+	cons := constraints.FromLabels(ds.SampleLabels(r, 0.2), ds.Y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpckmeans.Run(ds.X, cons, mpckmeans.Config{K: 5, Seed: int64(i), LearnMetric: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransitiveClosure(b *testing.B) {
+	ds := datagen.Ecoli(1)
+	r := stats.NewRand(2)
+	given := constraints.Sample(r, constraints.Pool(r, ds.Y, 0.15), 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := constraints.Closure(given); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCVCPSelectFOSC(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	labeled := ds.SampleLabels(stats.NewRand(2), 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.SelectWithLabels(root.FOSCOpticsDend{}, ds, labeled,
+			root.DefaultMinPtsRange, root.Options{Seed: int64(i), NFolds: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCVCPSelectMPCK(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	labeled := ds.SampleLabels(stats.NewRand(2), 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.SelectWithLabels(root.MPCKMeans{}, ds, labeled,
+			root.KRange(2, 9), root.Options{Seed: int64(i), NFolds: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCOPKMeans(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	r := stats.NewRand(2)
+	cons := constraints.FromLabels(ds.SampleLabels(r, 0.2), ds.Y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := copkmeans.Run(ds.X, cons, copkmeans.Config{K: 5, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBootstrapSelect(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	labeled := ds.SampleLabels(stats.NewRand(2), 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corecvcp.BootstrapWithLabels(corecvcp.MPCKMeans{}, ds, labeled,
+			[]int{3, 5, 7}, 5, corecvcp.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches for DESIGN.md §6 ---
+
+// BenchmarkAblationFoldCount compares CVCP cost across fold counts
+// (n ∈ {2,5,10}): fold count multiplies the clustering work per candidate.
+func BenchmarkAblationFoldCount(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	labeled := ds.SampleLabels(stats.NewRand(2), 0.2)
+	for _, folds := range []int{2, 5, 10} {
+		b.Run(fmt.Sprintf("folds%d", folds), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := root.SelectWithLabels(root.FOSCOpticsDend{}, ds, labeled,
+					root.DefaultMinPtsRange, root.Options{Seed: int64(i), NFolds: folds}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMetricLearning compares MPCK-Means with and without
+// per-cluster metric learning (PCK-Means): the metric update dominates at
+// high dimension.
+func BenchmarkAblationMetricLearning(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	cons := constraints.FromLabels(ds.SampleLabels(stats.NewRand(2), 0.2), ds.Y)
+	for _, learn := range []bool{false, true} {
+		name := "pck"
+		if learn {
+			name = "mpck"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mpckmeans.Run(ds.X, cons, mpckmeans.Config{
+					K: 5, Seed: int64(i), LearnMetric: learn,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationClosureFolds compares the paper's leakage-free constraint
+// fold construction against the naive edge split it warns about: correctness
+// costs one transitive closure.
+func BenchmarkAblationClosureFolds(b *testing.B) {
+	ds := datagen.Ecoli(1)
+	r := stats.NewRand(2)
+	given := constraints.Sample(r, constraints.Pool(r, ds.Y, 0.15), 0.5)
+	b.Run("closure", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := constraints.SplitConstraints(stats.NewRand(int64(i)), given, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive-leaky", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := constraints.NaiveSplitConstraints(stats.NewRand(int64(i)), given, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallelSweep compares the serial and parallel parameter
+// sweeps (on one core they should be comparable; the parallel path exists
+// for multi-core hosts).
+func BenchmarkAblationParallelSweep(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	labeled := ds.SampleLabels(stats.NewRand(2), 0.2)
+	for _, par := range []bool{false, true} {
+		name := "serial"
+		if par {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := corecvcp.SelectWithLabels(corecvcp.MPCKMeans{}, ds, labeled,
+					[]int{2, 4, 6, 8}, corecvcp.Options{Seed: int64(i), NFolds: 3, Parallel: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+// Command cvcp runs CVCP model selection on a CSV dataset.
+//
+// Scenario I — the CSV carries labels in its last column and a fraction of
+// them is used as supervision:
+//
+//	cvcp -data mydata.csv -labeled -algo fosc -labelfrac 0.10
+//
+// Scenario II — supervision is a constraint file (lines "a b ml" or
+// "a b cl", object indices are zero-based CSV row numbers):
+//
+//	cvcp -data mydata.csv -algo mpck -constraints cons.txt -kmin 2 -kmax 10
+//
+// The tool prints the per-parameter CVCP scores, the selected parameter and
+// the final cluster assignment (one "object cluster" line per object; -1 is
+// noise).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	root "cvcp"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "", "CSV dataset path (required)")
+		labeled  = flag.Bool("labeled", false, "last CSV column is an integer class label")
+		algo     = flag.String("algo", "fosc", "algorithm: fosc (MinPts selection) or mpck (k selection)")
+		consPath = flag.String("constraints", "", "constraint file for Scenario II")
+		frac     = flag.Float64("labelfrac", 0.10, "fraction of labels used as supervision in Scenario I")
+		kmin     = flag.Int("kmin", 2, "smallest k candidate (mpck)")
+		kmax     = flag.Int("kmax", 10, "largest k candidate (mpck)")
+		folds    = flag.Int("folds", 10, "cross-validation folds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		quiet    = flag.Bool("quiet", false, "suppress the per-object assignment output")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := root.LoadCSV(*data, *data, *labeled)
+	if err != nil {
+		fatal(err)
+	}
+
+	var alg root.Algorithm
+	var params []int
+	switch *algo {
+	case "fosc":
+		alg = root.FOSCOpticsDend{}
+		params = root.DefaultMinPtsRange
+	case "mpck":
+		alg = root.MPCKMeans{}
+		params = root.KRange(*kmin, *kmax)
+	default:
+		fatal(fmt.Errorf("unknown -algo %q (want fosc or mpck)", *algo))
+	}
+
+	opt := root.Options{NFolds: *folds, Seed: *seed}
+	var sel *root.Selection
+	switch {
+	case *consPath != "":
+		cons, err := loadConstraints(*consPath)
+		if err != nil {
+			fatal(err)
+		}
+		sel, err = root.SelectWithConstraints(alg, ds, cons, params, opt)
+		if err != nil {
+			fatal(err)
+		}
+	case *labeled:
+		r := root.NewRand(*seed)
+		idx := ds.SampleLabels(r, *frac)
+		sel, err = root.SelectWithLabels(alg, ds, idx, params, opt)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need either -labeled (Scenario I) or -constraints FILE (Scenario II)"))
+	}
+
+	fmt.Printf("algorithm: %s\n", sel.Algorithm)
+	fmt.Println("parameter scores (cross-validated constraint F-measure):")
+	for _, ps := range sel.Scores {
+		marker := " "
+		if ps.Param == sel.Best.Param {
+			marker = "*"
+		}
+		fmt.Printf(" %s param=%-4d score=%.4f\n", marker, ps.Param, ps.Score)
+	}
+	fmt.Printf("selected parameter: %d\n", sel.Best.Param)
+	if !*quiet {
+		fmt.Println("final assignment (object cluster):")
+		for i, l := range sel.FinalLabels {
+			fmt.Printf("%d %d\n", i, l)
+		}
+	}
+}
+
+// loadConstraints parses a constraint file: one constraint per line,
+// "<a> <b> ml" or "<a> <b> cl" with zero-based object indices; blank lines
+// and lines starting with '#' are ignored.
+func loadConstraints(path string) (*root.Constraints, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cons := root.NewConstraints()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var a, b int
+		var kind string
+		if _, err := fmt.Sscanf(text, "%d %d %s", &a, &b, &kind); err != nil {
+			return nil, fmt.Errorf("%s:%d: %q: %w", path, line, text, err)
+		}
+		switch strings.ToLower(kind) {
+		case "ml", "must", "mustlink", "must-link":
+			cons.Add(a, b, true)
+		case "cl", "cannot", "cannotlink", "cannot-link":
+			cons.Add(a, b, false)
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown constraint kind %q", path, line, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cons, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cvcp:", err)
+	os.Exit(1)
+}

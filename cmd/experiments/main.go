@@ -1,0 +1,87 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 4).
+//
+// Usage:
+//
+//	experiments -exp table5            # one experiment
+//	experiments -exp all               # everything, in paper order
+//	experiments -list                  # list experiment ids
+//	experiments -exp table1 -trials 50 -aloisets 100 -folds 10   # paper scale
+//
+// All randomness is seeded; identical flags produce identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cvcp/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1..table16, fig5..fig12, or 'all')")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		trials   = flag.Int("trials", 0, "independent trials per dataset (0 = default; paper uses 50)")
+		aloiSets = flag.Int("aloisets", 0, "ALOI collection size (0 = default; paper uses 100)")
+		aloiTr   = flag.Int("aloitrials", 0, "trials per ALOI set (0 = default)")
+		folds    = flag.Int("folds", 0, "cross-validation folds (0 = default; paper uses 10)")
+		seed     = flag.Int64("seed", 0, "master seed (0 = default)")
+		paper    = flag.Bool("paper", false, "use full paper-scale settings (slow)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", r.Name, r.Description)
+		}
+		return
+	}
+
+	cfg := experiments.Default(os.Stdout)
+	if *paper {
+		cfg = experiments.Paper(os.Stdout)
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *aloiSets > 0 {
+		cfg.ALOISets = *aloiSets
+	}
+	if *aloiTr > 0 {
+		cfg.ALOITrials = *aloiTr
+	}
+	if *folds > 0 {
+		cfg.NFolds = *folds
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.Registry()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			r, err := experiments.Lookup(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		fmt.Printf("== %s: %s ==\n", r.Name, r.Description)
+		start := time.Now()
+		if err := r.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", r.Name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,217 @@
+// Package cvcp is a from-scratch Go implementation of CVCP —
+// "Cross-Validation for finding Clustering Parameters" — the model-selection
+// framework for semi-supervised clustering of Pourrajabi, Moulavi, Campello,
+// Zimek, Sander and Goebel (EDBT 2014), together with every component the
+// paper's evaluation depends on: the FOSC-OPTICSDend density-based
+// semi-supervised clustering method, MPCK-Means, constraint machinery with
+// transitive closure, leakage-free cross-validation fold construction, and
+// the internal/external evaluation measures.
+//
+// # Quick start
+//
+// Scenario I — the user can label a few objects:
+//
+//	ds, _ := cvcp.LoadCSV("mydata", "mydata.csv", true)
+//	labeled := ds.SampleLabels(rng, 0.10) // or indices the user labeled
+//	sel, _ := cvcp.SelectWithLabels(cvcp.FOSCOpticsDend{}, ds, labeled,
+//		cvcp.DefaultMinPtsRange, cvcp.Options{Seed: 1})
+//	fmt.Println("best MinPts:", sel.Best.Param)
+//	use(sel.FinalLabels)
+//
+// Scenario II — the user has must-link / cannot-link constraints:
+//
+//	cons := cvcp.NewConstraints()
+//	cons.Add(3, 17, true)  // must-link
+//	cons.Add(3, 42, false) // cannot-link
+//	sel, _ := cvcp.SelectWithConstraints(cvcp.MPCKMeans{}, ds, cons,
+//		cvcp.KRange(2, 10), cvcp.Options{Seed: 1})
+//
+// The examples/ directory contains complete runnable programs, and
+// cmd/experiments regenerates every table and figure of the paper.
+package cvcp
+
+import (
+	"io"
+	"math/rand"
+
+	"cvcp/internal/constraints"
+	corecvcp "cvcp/internal/cvcp"
+	"cvcp/internal/dataset"
+	"cvcp/internal/eval"
+	"cvcp/internal/stats"
+)
+
+// Dataset is a numeric dataset with optional ground-truth class labels.
+type Dataset = dataset.Dataset
+
+// Constraints is a deduplicated set of pairwise must-link / cannot-link
+// constraints.
+type Constraints = constraints.Set
+
+// Constraint is a single pairwise constraint.
+type Constraint = constraints.Constraint
+
+// Algorithm is a semi-supervised clustering algorithm with one integer
+// parameter under selection.
+type Algorithm = corecvcp.Algorithm
+
+// Options configures a model-selection run.
+type Options = corecvcp.Options
+
+// Selection is the outcome of a model-selection run.
+type Selection = corecvcp.Selection
+
+// ParamScore is the cross-validated quality of one candidate parameter.
+type ParamScore = corecvcp.ParamScore
+
+// FOSCOpticsDend is the density-based semi-supervised clustering method
+// (parameter: MinPts).
+type FOSCOpticsDend = corecvcp.FOSCOpticsDend
+
+// MPCKMeans is metric pairwise constrained k-means (parameter: k).
+type MPCKMeans = corecvcp.MPCKMeans
+
+// COPKMeans is hard-constrained k-means (Wagstaff et al. 2001; parameter:
+// k) — the additional method the paper's future work calls for.
+type COPKMeans = corecvcp.COPKMeans
+
+// Candidate pairs an algorithm with its parameter range for cross-method
+// selection.
+type Candidate = corecvcp.Candidate
+
+// AlgorithmSelection is the outcome of a cross-method selection.
+type AlgorithmSelection = corecvcp.AlgorithmSelection
+
+// DefaultMinPtsRange is the MinPts candidate range the paper uses for
+// FOSC-OPTICSDend: {3, 6, 9, 12, 15, 18, 21, 24}.
+var DefaultMinPtsRange = []int{3, 6, 9, 12, 15, 18, 21, 24}
+
+// KRange returns the candidate range {lo, ..., hi} for the number of
+// clusters. The paper uses 2..M with M a reasonable upper bound.
+func KRange(lo, hi int) []int {
+	if hi < lo {
+		return nil
+	}
+	out := make([]int, 0, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// NewDataset validates x (and y, if non-nil) and wraps them in a Dataset.
+func NewDataset(name string, x [][]float64, y []int) (*Dataset, error) {
+	return dataset.New(name, x, y)
+}
+
+// LoadCSV reads a dataset from a CSV file; when hasLabel is true the last
+// column is the integer class label.
+func LoadCSV(name, path string, hasLabel bool) (*Dataset, error) {
+	return dataset.LoadCSV(name, path, hasLabel)
+}
+
+// ReadCSV parses a dataset from CSV.
+func ReadCSV(name string, r io.Reader, hasLabel bool) (*Dataset, error) {
+	return dataset.ReadCSV(name, r, hasLabel)
+}
+
+// NewConstraints returns an empty constraint set.
+func NewConstraints() *Constraints { return constraints.NewSet() }
+
+// ConstraintsFromLabels derives all pairwise constraints among the given
+// labeled objects: must-link for same-label pairs, cannot-link otherwise.
+func ConstraintsFromLabels(indices []int, y []int) *Constraints {
+	return constraints.FromLabels(indices, y)
+}
+
+// TransitiveClosure extends a constraint set to its transitive closure,
+// reporting an error for inconsistent inputs.
+func TransitiveClosure(s *Constraints) (*Constraints, error) {
+	return constraints.Closure(s)
+}
+
+// SelectWithLabels runs CVCP in Scenario I: supervision is a set of labeled
+// objects (indices into ds; labels are read from ds.Y).
+func SelectWithLabels(alg Algorithm, ds *Dataset, labeledIdx []int, params []int, opt Options) (*Selection, error) {
+	return corecvcp.SelectWithLabels(alg, ds, labeledIdx, params, opt)
+}
+
+// SelectWithConstraints runs CVCP in Scenario II: supervision is a set of
+// pairwise constraints.
+func SelectWithConstraints(alg Algorithm, ds *Dataset, cons *Constraints, params []int, opt Options) (*Selection, error) {
+	return corecvcp.SelectWithConstraints(alg, ds, cons, params, opt)
+}
+
+// ValidityIndex is a relative clustering validity criterion usable as an
+// unsupervised model-selection baseline.
+type ValidityIndex = corecvcp.ValidityIndex
+
+// ValidityIndices returns Silhouette, Davies–Bouldin, Calinski–Harabasz and
+// Dunn — the classical criteria from the comparative study the paper cites.
+func ValidityIndices() []ValidityIndex { return corecvcp.ValidityIndices() }
+
+// SelectByValidityIndex picks the parameter whose full-supervision
+// clustering optimizes the given relative validity criterion.
+func SelectByValidityIndex(alg Algorithm, ds *Dataset, full *Constraints, params []int, vi ValidityIndex, opt Options) (*Selection, error) {
+	return corecvcp.SelectByValidityIndex(alg, ds, full, params, vi, opt)
+}
+
+// SelectBySilhouette is the classical unsupervised model-selection baseline:
+// pick the parameter whose full-supervision clustering maximizes the
+// Silhouette coefficient.
+func SelectBySilhouette(alg Algorithm, ds *Dataset, full *Constraints, params []int, opt Options) (*Selection, error) {
+	return corecvcp.SelectBySilhouette(alg, ds, full, params, opt)
+}
+
+// SelectAlgorithmWithLabels runs CVCP across several candidate algorithms
+// on the same Scenario I supervision and returns the best method+parameter
+// combination — the cross-paradigm extension of the paper's future work.
+func SelectAlgorithmWithLabels(cands []Candidate, ds *Dataset, labeledIdx []int, opt Options) (*AlgorithmSelection, error) {
+	return corecvcp.SelectAlgorithmWithLabels(cands, ds, labeledIdx, opt)
+}
+
+// SelectAlgorithmWithConstraints is SelectAlgorithmWithLabels for
+// Scenario II supervision.
+func SelectAlgorithmWithConstraints(cands []Candidate, ds *Dataset, cons *Constraints, opt Options) (*AlgorithmSelection, error) {
+	return corecvcp.SelectAlgorithmWithConstraints(cands, ds, cons, opt)
+}
+
+// BootstrapWithLabels scores parameters by bootstrap resampling instead of
+// cross-validation — the alternative partition-based evaluation mentioned
+// in the paper's Section 3.1.
+func BootstrapWithLabels(alg Algorithm, ds *Dataset, labeledIdx []int, params []int, rounds int, opt Options) (*Selection, error) {
+	return corecvcp.BootstrapWithLabels(alg, ds, labeledIdx, params, rounds, opt)
+}
+
+// ConstraintF scores a labeling as a classifier over the given constraints —
+// the paper's internal quality measure (average per-class F-measure).
+func ConstraintF(labels []int, cons *Constraints) float64 {
+	return eval.ConstraintF(labels, cons)
+}
+
+// OverallF computes the Overall F-Measure between a labeling and the ground
+// truth over the evaluation objects (all objects when evalIdx is nil).
+func OverallF(labels, truth []int, evalIdx []int) float64 {
+	return eval.OverallF(labels, truth, evalIdx)
+}
+
+// Silhouette computes the mean Silhouette coefficient of a labeling.
+func Silhouette(x [][]float64, labels []int) float64 {
+	return eval.Silhouette(x, labels)
+}
+
+// NewRand returns a deterministic random source for use with the sampling
+// helpers on Dataset.
+func NewRand(seed int64) *rand.Rand { return stats.NewRand(seed) }
+
+// ConstraintPool builds the paper's candidate constraint pool: objFrac of
+// the objects of each class, all pairwise constraints among them.
+func ConstraintPool(r *rand.Rand, y []int, objFrac float64) *Constraints {
+	return constraints.Pool(r, y, objFrac)
+}
+
+// SampleConstraints draws a uniform subset containing frac of the
+// constraints in s.
+func SampleConstraints(r *rand.Rand, s *Constraints, frac float64) *Constraints {
+	return constraints.Sample(r, s, frac)
+}

@@ -1,0 +1,60 @@
+package cvcp_test
+
+import (
+	"testing"
+
+	root "cvcp"
+	"cvcp/internal/datagen"
+)
+
+// TestEndToEndLabelScenario runs the full Scenario I pipeline on an
+// ALOI-like dataset and checks that CVCP's selection produces a clustering
+// at least as good as the worst parameter in the range — and, on this easy
+// planted structure, a genuinely good one.
+func TestEndToEndLabelScenario(t *testing.T) {
+	ds := datagen.ALOI(42, 1)[0]
+	r := root.NewRand(7)
+	labeled := ds.SampleLabels(r, 0.10)
+
+	sel, err := root.SelectWithLabels(root.FOSCOpticsDend{}, ds, labeled, root.DefaultMinPtsRange, root.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Scores) != len(root.DefaultMinPtsRange) {
+		t.Fatalf("got %d scores, want %d", len(sel.Scores), len(root.DefaultMinPtsRange))
+	}
+	of := root.OverallF(sel.FinalLabels, ds.Y, nil)
+	t.Logf("FOSC best MinPts=%d internal=%.3f overallF=%.3f curve=%v",
+		sel.Best.Param, sel.Best.Score, of, sel.ScoreCurve())
+	if of < 0.5 {
+		t.Errorf("FOSC-OPTICSDend with CVCP-selected MinPts scored OverallF=%.3f on planted clusters, want >= 0.5", of)
+	}
+}
+
+// TestEndToEndConstraintScenario runs the full Scenario II pipeline with
+// MPCKmeans on the same dataset: CVCP should pick a k close to the planted 5
+// and produce a decent clustering.
+func TestEndToEndConstraintScenario(t *testing.T) {
+	ds := datagen.ALOI(42, 1)[0]
+	r := root.NewRand(7)
+	pool := root.ConstraintPool(r, ds.Y, 0.10)
+	cons := root.SampleConstraints(r, pool, 0.5)
+
+	sel, err := root.SelectWithConstraints(root.MPCKMeans{}, ds, cons, root.KRange(2, 9), root.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	of := root.OverallF(sel.FinalLabels, ds.Y, nil)
+	t.Logf("MPCK best k=%d internal=%.3f overallF=%.3f curve=%v",
+		sel.Best.Param, sel.Best.Score, of, sel.ScoreCurve())
+	// The planted structure has 5 classes, two of which overlap heavily, so
+	// any k from 4 up can be defensible; what CVCP must deliver is a good
+	// clustering, clearly better than the worst candidates (k=2 scores
+	// ~0.33 here).
+	if sel.Best.Param < 3 {
+		t.Errorf("CVCP selected k=%d, a degenerate under-clustering", sel.Best.Param)
+	}
+	if of < 0.6 {
+		t.Errorf("MPCKmeans with CVCP-selected k scored OverallF=%.3f, want >= 0.6", of)
+	}
+}

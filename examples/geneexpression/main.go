@@ -1,0 +1,50 @@
+// Gene-expression clustering: the paper's Zyeast workload, where the class
+// structure (co-expressed gene groups) is elongated and non-convex, so the
+// clustering *paradigm* matters as much as the parameter. The example runs
+// CVCP with both FOSC-OPTICSDend and MPCK-Means and shows how the
+// cross-validated scores expose that k-means is the wrong model here —
+// the negative-correlation phenomenon of the paper's Tables 2 and 4.
+//
+//	go run ./examples/geneexpression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cvcp "cvcp"
+	"cvcp/internal/datagen"
+)
+
+func main() {
+	ds := datagen.Zyeast(4242)
+	labeled := ds.SampleLabels(cvcp.NewRand(8), 0.20)
+	fmt.Printf("dataset %s: %d genes × %d conditions, %d expression programs, %d labeled\n\n",
+		ds.Name, ds.N(), ds.Dims(), ds.NumClasses(), len(labeled))
+
+	run := func(name string, alg cvcp.Algorithm, params []int) float64 {
+		sel, err := cvcp.SelectWithLabels(alg, ds, labeled, params, cvcp.Options{Seed: 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		of := cvcp.OverallF(sel.FinalLabels, ds.Y, nil)
+		fmt.Printf("%-16s selected=%d  internal=%.3f  external OverallF=%.3f\n",
+			name, sel.Best.Param, sel.Best.Score, of)
+		return of
+	}
+
+	fosc := run("FOSC-OPTICSDend", cvcp.FOSCOpticsDend{}, cvcp.DefaultMinPtsRange)
+	mpck := run("MPCKmeans", cvcp.MPCKMeans{}, cvcp.KRange(2, 8))
+
+	fmt.Println()
+	switch {
+	case fosc > mpck+0.05:
+		fmt.Println("density-based clustering tracks the elongated expression programs;")
+		fmt.Println("k-means-style clustering cuts them radially — as in the paper,")
+		fmt.Println("Zyeast is a paradigm-selection problem, not just a parameter one.")
+	case mpck > fosc+0.05:
+		fmt.Println("unexpectedly, the partitional method won on this draw.")
+	default:
+		fmt.Println("both paradigms performed comparably on this draw.")
+	}
+}

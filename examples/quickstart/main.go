@@ -1,0 +1,52 @@
+// Quickstart: select the number of clusters for MPCK-Means on a small
+// synthetic dataset where the user has labeled 10% of the objects
+// (Scenario I of the paper), then cluster with the selected parameter.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	cvcp "cvcp"
+)
+
+func main() {
+	// Three well-separated 2-d blobs of 40 points each; in a real
+	// application this is your data matrix.
+	r := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []int
+	centers := [][]float64{{0, 0}, {8, 0}, {4, 7}}
+	for c, ctr := range centers {
+		for i := 0; i < 40; i++ {
+			x = append(x, []float64{ctr[0] + r.NormFloat64(), ctr[1] + r.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	ds, err := cvcp.NewDataset("quickstart", x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user labeled 10% of the objects.
+	labeled := ds.SampleLabels(cvcp.NewRand(7), 0.10)
+
+	// CVCP: score every candidate k by cross-validated constraint
+	// classification, pick the best, cluster with all supervision.
+	sel, err := cvcp.SelectWithLabels(cvcp.MPCKMeans{}, ds, labeled,
+		cvcp.KRange(2, 8), cvcp.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("candidate scores (cross-validated constraint F-measure):")
+	for _, ps := range sel.Scores {
+		fmt.Printf("  k=%d  score=%.3f\n", ps.Param, ps.Score)
+	}
+	fmt.Printf("selected k = %d\n", sel.Best.Param)
+	fmt.Printf("agreement with ground truth (Overall F-Measure): %.3f\n",
+		cvcp.OverallF(sel.FinalLabels, ds.Y, nil))
+}

@@ -1,0 +1,239 @@
+package hierarchy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cvcp/internal/cluster/optics"
+	"cvcp/internal/stats"
+)
+
+func line(points ...float64) [][]float64 {
+	x := make([][]float64, len(points))
+	for i, p := range points {
+		x[i] = []float64{p}
+	}
+	return x
+}
+
+func TestSingleLinkageHandComputed(t *testing.T) {
+	// Points 0, 1, 3, 10: merges at 1 (0-1), 2 (1-3), 7 (3-10).
+	d, err := SingleLinkage(line(0, 1, 3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nodes) != 7 {
+		t.Fatalf("got %d nodes, want 7", len(d.Nodes))
+	}
+	root := d.Nodes[d.Root]
+	if root.Size != 4 {
+		t.Errorf("root size = %d", root.Size)
+	}
+	if math.Abs(root.Height-7) > 1e-12 {
+		t.Errorf("root height = %v, want 7", root.Height)
+	}
+	// Cutting below 7 and above 2 yields {0,1,2} and {3}.
+	labels := d.CutAt(3)
+	if labels[0] != labels[1] || labels[1] != labels[2] || labels[3] == labels[0] {
+		t.Errorf("CutAt(3) = %v", labels)
+	}
+}
+
+func TestCutAtExtremes(t *testing.T) {
+	d, err := SingleLinkage(line(0, 1, 3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := d.CutAt(math.Inf(1))
+	for i := 1; i < len(all); i++ {
+		if all[i] != all[0] {
+			t.Error("cut at +Inf must give one cluster")
+		}
+	}
+	singletons := d.CutAt(0.5)
+	seen := map[int]bool{}
+	for _, l := range singletons {
+		if seen[l] {
+			t.Error("cut below the smallest merge must give singletons")
+		}
+		seen[l] = true
+	}
+}
+
+func TestFromReachabilityEquivalentToSingleLinkage(t *testing.T) {
+	// With MinPts = 1 every core distance is 0, so OPTICS reachability is
+	// plain distance and the dendrogram must match single linkage in its
+	// merge heights.
+	x := line(0, 1, 3, 10, 11, 30)
+	res, err := optics.Run(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := FromReachability(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := SingleLinkage(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := mergeHeights(dr)
+	hs := mergeHeights(sl)
+	if len(hr) != len(hs) {
+		t.Fatalf("merge counts differ: %d vs %d", len(hr), len(hs))
+	}
+	for i := range hr {
+		if math.Abs(hr[i]-hs[i]) > 1e-9 {
+			t.Errorf("merge %d: %v vs %v", i, hr[i], hs[i])
+		}
+	}
+}
+
+func mergeHeights(d *Dendrogram) []float64 {
+	var hs []float64
+	for _, nd := range d.Nodes {
+		if nd.Point < 0 {
+			hs = append(hs, nd.Height)
+		}
+	}
+	// Heights were appended in merge order, which is ascending for both
+	// constructions; sort anyway for robustness.
+	for i := 1; i < len(hs); i++ {
+		for j := i; j > 0 && hs[j] < hs[j-1]; j-- {
+			hs[j], hs[j-1] = hs[j-1], hs[j]
+		}
+	}
+	return hs
+}
+
+func TestMembersAndPostOrder(t *testing.T) {
+	d, err := SingleLinkage(line(0, 1, 3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Members(d.Root)
+	if len(m) != 4 {
+		t.Errorf("root members = %v", m)
+	}
+	post := d.PostOrder()
+	if len(post) != len(d.Nodes) {
+		t.Fatalf("post-order covers %d of %d nodes", len(post), len(d.Nodes))
+	}
+	pos := make(map[int]int)
+	for i, id := range post {
+		pos[id] = i
+	}
+	for id, nd := range d.Nodes {
+		if nd.Point >= 0 {
+			continue
+		}
+		if pos[nd.Left] > pos[id] || pos[nd.Right] > pos[id] {
+			t.Errorf("node %d precedes its children in post-order", id)
+		}
+	}
+	if post[len(post)-1] != d.Root {
+		t.Error("post-order must end at the root")
+	}
+}
+
+func TestLCAAgainstNaive(t *testing.T) {
+	r := stats.NewRand(3)
+	x := make([][]float64, 30)
+	for i := range x {
+		x[i] = []float64{r.NormFloat64() * 5}
+	}
+	d, err := SingleLinkage(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLCA(d)
+	naive := func(a, b int) int {
+		anc := map[int]bool{}
+		for v := a; v != -1; v = d.Nodes[v].Parent {
+			anc[v] = true
+		}
+		for v := b; v != -1; v = d.Nodes[v].Parent {
+			if anc[v] {
+				return v
+			}
+		}
+		return -1
+	}
+	for a := 0; a < len(x); a++ {
+		for b := 0; b < len(x); b++ {
+			if got, want := l.Query(a, b), naive(a, b); got != want {
+				t.Fatalf("LCA(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	if l.MergeHeight(0, 0) != 0 {
+		t.Error("MergeHeight(a,a) must be 0")
+	}
+}
+
+// Property: a dendrogram over n points has 2n-1 nodes, the root covers all
+// points, and every internal node's size is the sum of its children's.
+func TestDendrogramInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		n := 5 + int(seed%20+20)%20
+		x := make([][]float64, n)
+		for i := range x {
+			x[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+		}
+		res, err := optics.Run(x, 3)
+		if err != nil {
+			return false
+		}
+		d, err := FromReachability(res)
+		if err != nil {
+			return false
+		}
+		if len(d.Nodes) != 2*n-1 || d.Nodes[d.Root].Size != n {
+			return false
+		}
+		for _, nd := range d.Nodes {
+			if nd.Point >= 0 {
+				if nd.Size != 1 {
+					return false
+				}
+				continue
+			}
+			if nd.Size != d.Nodes[nd.Left].Size+d.Nodes[nd.Right].Size {
+				return false
+			}
+			// Parent pointers consistent.
+			if d.Nodes[nd.Left].Parent == -1 || d.Nodes[nd.Right].Parent == -1 {
+				return false
+			}
+		}
+		return d.Nodes[d.Root].Parent == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := SingleLinkage(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := FromReachability(&optics.Result{}); err == nil {
+		t.Error("expected error for empty ordering")
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	d, err := SingleLinkage(line(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nodes) != 1 || d.Root != 0 || d.Nodes[0].Size != 1 {
+		t.Errorf("single-point dendrogram: %+v", d)
+	}
+	labels := d.CutAt(1)
+	if labels[0] != 0 {
+		t.Errorf("labels = %v", labels)
+	}
+}

@@ -1,0 +1,103 @@
+package hierarchy
+
+// LCA answers lowest-common-ancestor queries on a dendrogram in O(1) after
+// O(n log n) preprocessing, via the Euler tour + sparse-table reduction to
+// range-minimum queries. FOSC uses it to find, for every constraint (a, b),
+// the dendrogram node at which the two objects first merge.
+type LCA struct {
+	d      *Dendrogram
+	euler  []int // node id per Euler tour position
+	depth  []int // depth per Euler tour position
+	first  []int // first tour position of each node id
+	sparse [][]int32
+	log2   []int
+}
+
+// NewLCA preprocesses d for constant-time LCA queries.
+func NewLCA(d *Dendrogram) *LCA {
+	l := &LCA{d: d, first: make([]int, len(d.Nodes))}
+	for i := range l.first {
+		l.first[i] = -1
+	}
+	type frame struct {
+		id, depth, state int
+	}
+	stack := []frame{{id: d.Root}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		nd := d.Nodes[f.id]
+		if l.first[f.id] == -1 {
+			l.first[f.id] = len(l.euler)
+		}
+		l.euler = append(l.euler, f.id)
+		l.depth = append(l.depth, f.depth)
+		if nd.Point >= 0 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		switch f.state {
+		case 0:
+			f.state = 1
+			stack = append(stack, frame{id: nd.Left, depth: f.depth + 1})
+		case 1:
+			f.state = 2
+			stack = append(stack, frame{id: nd.Right, depth: f.depth + 1})
+		default:
+			stack = stack[:len(stack)-1]
+		}
+	}
+	l.buildSparse()
+	return l
+}
+
+func (l *LCA) buildSparse() {
+	m := len(l.euler)
+	l.log2 = make([]int, m+1)
+	for i := 2; i <= m; i++ {
+		l.log2[i] = l.log2[i/2] + 1
+	}
+	levels := l.log2[m] + 1
+	l.sparse = make([][]int32, levels)
+	l.sparse[0] = make([]int32, m)
+	for i := 0; i < m; i++ {
+		l.sparse[0][i] = int32(i)
+	}
+	for lev := 1; lev < levels; lev++ {
+		width := m - (1 << lev) + 1
+		l.sparse[lev] = make([]int32, width)
+		for i := 0; i < width; i++ {
+			a := l.sparse[lev-1][i]
+			b := l.sparse[lev-1][i+(1<<(lev-1))]
+			if l.depth[a] <= l.depth[b] {
+				l.sparse[lev][i] = a
+			} else {
+				l.sparse[lev][i] = b
+			}
+		}
+	}
+}
+
+// Query returns the node id of the lowest common ancestor of objects a and b
+// (object indices, i.e. leaf node ids).
+func (l *LCA) Query(a, b int) int {
+	fa, fb := l.first[a], l.first[b]
+	if fa > fb {
+		fa, fb = fb, fa
+	}
+	lev := l.log2[fb-fa+1]
+	p := l.sparse[lev][fa]
+	q := l.sparse[lev][fb-(1<<lev)+1]
+	if l.depth[p] <= l.depth[q] {
+		return l.euler[p]
+	}
+	return l.euler[q]
+}
+
+// MergeHeight returns the dendrogram height at which objects a and b first
+// share a cluster (0 when a == b).
+func (l *LCA) MergeHeight(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return l.d.Nodes[l.Query(a, b)].Height
+}

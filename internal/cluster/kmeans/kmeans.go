@@ -1,0 +1,160 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding. It is
+// the unconstrained baseline clustering method and the building block the
+// MPCKmeans implementation extends with constraints and metric learning.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cvcp/internal/linalg"
+)
+
+// Config controls a k-means run.
+type Config struct {
+	K        int   // number of clusters (required, >= 1)
+	MaxIter  int   // maximum Lloyd iterations; 0 means 100
+	Seed     int64 // seeding RNG seed
+	Restarts int   // independent restarts, best objective kept; 0 means 1
+}
+
+// Result is a finished k-means clustering.
+type Result struct {
+	Labels    []int       // cluster index per object, in [0, K)
+	Centers   [][]float64 // final cluster centroids
+	Objective float64     // sum of squared distances to assigned centroids
+	Iters     int         // Lloyd iterations of the winning restart
+}
+
+// Run clusters x into cfg.K clusters. It returns an error when K < 1 or
+// K > len(x).
+func Run(x [][]float64, cfg Config) (*Result, error) {
+	n := len(x)
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("kmeans: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.K > n {
+		return nil, fmt.Errorf("kmeans: K=%d exceeds %d objects", cfg.K, n)
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var best *Result
+	for t := 0; t < restarts; t++ {
+		res := lloyd(x, SeedPlusPlus(r, x, cfg.K), maxIter)
+		if best == nil || res.Objective < best.Objective {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// SeedPlusPlus selects k initial centers with the k-means++ D² weighting.
+func SeedPlusPlus(r *rand.Rand, x [][]float64, k int) [][]float64 {
+	n := len(x)
+	centers := make([][]float64, 0, k)
+	centers = append(centers, linalg.Clone(x[r.Intn(n)]))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = linalg.SqDist(x[i], centers[0])
+	}
+	for len(centers) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var next int
+		if total <= 0 {
+			next = r.Intn(n) // all points coincide with some center
+		} else {
+			target := r.Float64() * total
+			cum := 0.0
+			next = n - 1
+			for i, d := range d2 {
+				cum += d
+				if cum >= target {
+					next = i
+					break
+				}
+			}
+		}
+		c := linalg.Clone(x[next])
+		centers = append(centers, c)
+		for i := range d2 {
+			if d := linalg.SqDist(x[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+// lloyd iterates assignment and mean updates until labels stop changing or
+// maxIter is reached. Empty clusters are re-seeded with the point farthest
+// from its assigned center, a standard repair that keeps exactly K clusters.
+func lloyd(x, centers [][]float64, maxIter int) *Result {
+	n, k := len(x), len(centers)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i, p := range x {
+			bi, bd := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := linalg.SqDist(p, ctr); d < bd {
+					bi, bd = c, d
+				}
+			}
+			if labels[i] != bi {
+				labels[i] = bi
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		counts := make([]int, k)
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+		}
+		for i, p := range x {
+			counts[labels[i]]++
+			linalg.AXPY(centers[labels[i]], 1, p)
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				centers[c] = linalg.Clone(x[farthestPoint(x, centers, labels)])
+				continue
+			}
+			linalg.Scale(centers[c], 1/float64(counts[c]), centers[c])
+		}
+	}
+	var obj float64
+	for i, p := range x {
+		obj += linalg.SqDist(p, centers[labels[i]])
+	}
+	return &Result{Labels: labels, Centers: centers, Objective: obj, Iters: iters}
+}
+
+func farthestPoint(x, centers [][]float64, labels []int) int {
+	worst, wd := 0, -1.0
+	for i, p := range x {
+		d := linalg.SqDist(p, centers[labels[i]])
+		if d > wd {
+			worst, wd = i, d
+		}
+	}
+	return worst
+}

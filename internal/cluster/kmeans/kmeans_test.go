@@ -1,0 +1,161 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cvcp/internal/stats"
+)
+
+// threeBlobs returns 3 well-separated 2-d blobs of size 10 each.
+func threeBlobs(seed int64) ([][]float64, []int) {
+	r := stats.NewRand(seed)
+	centers := [][]float64{{0, 0}, {20, 0}, {10, 20}}
+	var x [][]float64
+	var y []int
+	for c, ctr := range centers {
+		for i := 0; i < 10; i++ {
+			x = append(x, []float64{ctr[0] + r.NormFloat64(), ctr[1] + r.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	return x, y
+}
+
+func TestRunRecoversBlobs(t *testing.T) {
+	x, y := threeBlobs(1)
+	res, err := Run(x, Config{K: 3, Seed: 5, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points of one true class must share a cluster label.
+	for c := 0; c < 3; c++ {
+		var label = -1
+		for i := range x {
+			if y[i] != c {
+				continue
+			}
+			if label == -1 {
+				label = res.Labels[i]
+			} else if res.Labels[i] != label {
+				t.Fatalf("class %d split across clusters", c)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	x, _ := threeBlobs(1)
+	if _, err := Run(x, Config{K: 0}); err == nil {
+		t.Error("expected error for K=0")
+	}
+	if _, err := Run(x, Config{K: len(x) + 1}); err == nil {
+		t.Error("expected error for K>n")
+	}
+}
+
+func TestRunKEqualsOne(t *testing.T) {
+	x, _ := threeBlobs(2)
+	res, err := Run(x, Config{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Labels {
+		if l != 0 {
+			t.Fatal("K=1 must assign everything to cluster 0")
+		}
+	}
+}
+
+func TestRunKEqualsN(t *testing.T) {
+	x := [][]float64{{0}, {10}, {20}, {30}}
+	res, err := Run(x, Config{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 4 || res.Objective > 1e-9 {
+		t.Errorf("K=n: %d distinct labels, objective %v", len(seen), res.Objective)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	x, _ := threeBlobs(3)
+	a, _ := Run(x, Config{K: 3, Seed: 7})
+	b, _ := Run(x, Config{K: 3, Seed: 7})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed, different labels")
+		}
+	}
+}
+
+func TestRestartsNeverWorse(t *testing.T) {
+	x, _ := threeBlobs(4)
+	one, _ := Run(x, Config{K: 3, Seed: 9, Restarts: 1})
+	many, _ := Run(x, Config{K: 3, Seed: 9, Restarts: 5})
+	if many.Objective > one.Objective+1e-9 {
+		t.Errorf("more restarts worsened the objective: %v > %v", many.Objective, one.Objective)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	x := [][]float64{{1, 1}, {1, 1}, {1, 1}, {5, 5}}
+	res, err := Run(x, Config{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[3] == res.Labels[0] {
+		t.Error("distinct point grouped with duplicates despite K=2")
+	}
+}
+
+func TestSeedPlusPlusCount(t *testing.T) {
+	x, _ := threeBlobs(5)
+	r := stats.NewRand(1)
+	centers := SeedPlusPlus(r, x, 3)
+	if len(centers) != 3 {
+		t.Fatalf("got %d centers", len(centers))
+	}
+	// Centers are copies, not aliases into x.
+	centers[0][0] = 1e9
+	for _, p := range x {
+		if p[0] == 1e9 {
+			t.Fatal("SeedPlusPlus aliases input data")
+		}
+	}
+}
+
+// Property: the objective equals the recomputed sum of squared distances to
+// the assigned centers, and every label is in range.
+func TestObjectiveConsistency(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		x, _ := threeBlobs(seed % 1000)
+		k := int(kRaw%5) + 1
+		res, err := Run(x, Config{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		var obj float64
+		for i, p := range x {
+			if res.Labels[i] < 0 || res.Labels[i] >= k {
+				return false
+			}
+			c := res.Centers[res.Labels[i]]
+			var d float64
+			for j := range p {
+				v := p[j] - c[j]
+				d += v * v
+			}
+			obj += d
+		}
+		return math.Abs(obj-res.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package optics implements the OPTICS density-based cluster ordering
+// (Ankerst, Breunig, Kriegel & Sander, SIGMOD 1999) with ε = ∞, which is the
+// variant the FOSC-OPTICSDend method consumes: the full reachability plot
+// parameterized only by MinPts.
+package optics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cvcp/internal/linalg"
+)
+
+// Result is an OPTICS ordering. Order[p] is the index of the p-th object in
+// the ordering; Reach[p] is the reachability distance of that object at the
+// moment it was reached (math.Inf(1) for the first object of each walk);
+// Core[i] is the core distance of object i (indexed by object, not by
+// position).
+type Result struct {
+	Order []int
+	Reach []float64
+	Core  []float64
+}
+
+// Run computes the OPTICS ordering of x with the given MinPts and ε = ∞.
+// The core distance of object i is the distance to its MinPts-th nearest
+// neighbor counting the object itself (the DBSCAN convention); it is +Inf
+// when the dataset has fewer than MinPts objects.
+func Run(x [][]float64, minPts int) (*Result, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("optics: empty dataset")
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("optics: MinPts must be >= 1, got %d", minPts)
+	}
+
+	core := coreDistances(x, minPts)
+	processed := make([]bool, n)
+	order := make([]int, 0, n)
+	reach := make([]float64, 0, n)
+
+	h := newHeap(n)
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		// Begin a new walk at the first unprocessed object.
+		h.push(start, math.Inf(1))
+		for h.len() > 0 {
+			i, r := h.pop()
+			if processed[i] {
+				continue
+			}
+			processed[i] = true
+			order = append(order, i)
+			reach = append(reach, r)
+			if math.IsInf(core[i], 1) {
+				continue // not a core object: cannot expand
+			}
+			for j := 0; j < n; j++ {
+				if processed[j] {
+					continue
+				}
+				d := linalg.Dist(x[i], x[j])
+				nr := math.Max(core[i], d)
+				h.pushOrDecrease(j, nr)
+			}
+		}
+	}
+	return &Result{Order: order, Reach: reach, Core: core}, nil
+}
+
+// coreDistances returns, for every object, the distance to its minPts-th
+// nearest neighbor (the object itself counts as the first).
+func coreDistances(x [][]float64, minPts int) []float64 {
+	n := len(x)
+	core := make([]float64, n)
+	if minPts > n {
+		for i := range core {
+			core[i] = math.Inf(1)
+		}
+		return core
+	}
+	if minPts == 1 {
+		return core // distance to itself
+	}
+	d := make([]float64, n)
+	for i := range x {
+		for j := range x {
+			d[j] = linalg.Dist(x[i], x[j])
+		}
+		sort.Float64s(d)
+		core[i] = d[minPts-1]
+	}
+	return core
+}
+
+// heap is an indexed min-heap over object indices keyed by reachability,
+// with decrease-key support. Ties are broken by object index so the ordering
+// is deterministic.
+type heap struct {
+	keys []float64 // key per object; NaN when absent
+	pos  []int     // heap position per object; -1 when absent
+	heap []int     // object indices
+}
+
+func newHeap(n int) *heap {
+	h := &heap{keys: make([]float64, n), pos: make([]int, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *heap) len() int { return len(h.heap) }
+
+func (h *heap) less(a, b int) bool {
+	ia, ib := h.heap[a], h.heap[b]
+	if h.keys[ia] != h.keys[ib] {
+		return h.keys[ia] < h.keys[ib]
+	}
+	return ia < ib
+}
+
+func (h *heap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *heap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *heap) push(i int, key float64) {
+	h.keys[i] = key
+	h.pos[i] = len(h.heap)
+	h.heap = append(h.heap, i)
+	h.up(h.pos[i])
+}
+
+// pushOrDecrease inserts i with the given key, or lowers its key if i is
+// already queued with a larger one.
+func (h *heap) pushOrDecrease(i int, key float64) {
+	if h.pos[i] < 0 {
+		h.push(i, key)
+		return
+	}
+	if key < h.keys[i] {
+		h.keys[i] = key
+		h.up(h.pos[i])
+	}
+}
+
+func (h *heap) pop() (int, float64) {
+	top := h.heap[0]
+	h.swap(0, len(h.heap)-1)
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[top] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return top, h.keys[top]
+}

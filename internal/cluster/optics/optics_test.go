@@ -1,0 +1,193 @@
+package optics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cvcp/internal/stats"
+)
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, 2); err == nil {
+		t.Error("expected error for empty data")
+	}
+	if _, err := Run([][]float64{{1}}, 0); err == nil {
+		t.Error("expected error for MinPts=0")
+	}
+}
+
+func TestOrderingIsPermutation(t *testing.T) {
+	x := [][]float64{{0}, {1}, {5}, {6}, {20}}
+	res, err := Run(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != len(x) || len(res.Reach) != len(x) {
+		t.Fatalf("lengths %d/%d", len(res.Order), len(res.Reach))
+	}
+	seen := map[int]bool{}
+	for _, i := range res.Order {
+		if i < 0 || i >= len(x) || seen[i] {
+			t.Fatalf("invalid ordering %v", res.Order)
+		}
+		seen[i] = true
+	}
+	if !math.IsInf(res.Reach[0], 1) {
+		t.Errorf("first reachability = %v, want +Inf", res.Reach[0])
+	}
+}
+
+func TestCoreDistances(t *testing.T) {
+	// Points on a line: 0, 1, 5.
+	x := [][]float64{{0}, {1}, {5}}
+	res, err := Run(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MinPts=2: core distance = distance to nearest other point.
+	want := []float64{1, 1, 4}
+	for i, w := range want {
+		if math.Abs(res.Core[i]-w) > 1e-12 {
+			t.Errorf("Core[%d] = %v, want %v", i, res.Core[i], w)
+		}
+	}
+}
+
+func TestCoreDistanceMinPtsOne(t *testing.T) {
+	x := [][]float64{{0}, {3}}
+	res, err := Run(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Core {
+		if c != 0 {
+			t.Errorf("Core[%d] = %v, want 0 (the point itself)", i, c)
+		}
+	}
+}
+
+func TestCoreDistanceMinPtsExceedsN(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	res, err := Run(x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Core {
+		if !math.IsInf(c, 1) {
+			t.Errorf("Core[%d] = %v, want +Inf", i, c)
+		}
+	}
+	// No core points: each object starts its own walk with infinite
+	// reachability.
+	for i, r := range res.Reach {
+		if !math.IsInf(r, 1) {
+			t.Errorf("Reach[%d] = %v, want +Inf", i, r)
+		}
+	}
+}
+
+// TestClusterGapVisible verifies the defining property of the reachability
+// plot: the jump between two well-separated groups is a large bar.
+func TestClusterGapVisible(t *testing.T) {
+	x := [][]float64{{0}, {0.5}, {1}, {100}, {100.5}, {101}}
+	res, err := Run(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := 0
+	for p := 1; p < len(res.Reach); p++ {
+		if res.Reach[p] > 50 {
+			big++
+		}
+	}
+	if big != 1 {
+		t.Errorf("expected exactly one large reachability bar, got %d (%v)", big, res.Reach)
+	}
+}
+
+func TestWalkStartsAtFirstUnprocessed(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}}
+	res, err := Run(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Order[0] != 0 {
+		t.Errorf("ordering starts at %d, want 0", res.Order[0])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r := stats.NewRand(4)
+	x := make([][]float64, 40)
+	for i := range x {
+		x[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+	}
+	a, _ := Run(x, 4)
+	b, _ := Run(x, 4)
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] || a.Reach[i] != b.Reach[i] {
+			t.Fatal("OPTICS not deterministic")
+		}
+	}
+}
+
+// Property: core distances are non-decreasing in MinPts.
+func TestCoreMonotoneInMinPts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		x := make([][]float64, 20)
+		for i := range x {
+			x[i] = []float64{r.NormFloat64() * 3, r.NormFloat64() * 3}
+		}
+		prev := make([]float64, len(x))
+		for mp := 1; mp <= 6; mp++ {
+			res, err := Run(x, mp)
+			if err != nil {
+				return false
+			}
+			for i := range x {
+				if res.Core[i] < prev[i]-1e-12 {
+					return false
+				}
+				prev[i] = res.Core[i]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every reachability value after the first is at least the core
+// distance of some processed predecessor — in particular it is never below
+// the smallest core distance in the data.
+func TestReachabilityLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		x := make([][]float64, 25)
+		for i := range x {
+			x[i] = []float64{r.NormFloat64()}
+		}
+		res, err := Run(x, 3)
+		if err != nil {
+			return false
+		}
+		minCore := math.Inf(1)
+		for _, c := range res.Core {
+			if c < minCore {
+				minCore = c
+			}
+		}
+		for p := 1; p < len(res.Reach); p++ {
+			if res.Reach[p] < minCore-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

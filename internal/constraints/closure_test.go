@@ -1,0 +1,250 @@
+package constraints
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestClosurePaperFigure2 reproduces the paper's Figure 2 example: given
+// must-link(A,B), must-link(C,D) and cannot-link(B,C), the closure must add
+// cannot-link(A,C), cannot-link(A,D) and cannot-link(B,D).
+func TestClosurePaperFigure2(t *testing.T) {
+	const (
+		A = 0
+		B = 1
+		C = 2
+		D = 3
+	)
+	s := NewSet()
+	s.Add(A, B, true)
+	s.Add(C, D, true)
+	s.Add(B, C, false)
+	closed, err := Closure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closed.HasMustLink(A, B) || !closed.HasMustLink(C, D) {
+		t.Error("closure lost the explicit must-links")
+	}
+	for _, want := range [][2]int{{A, C}, {A, D}, {B, D}, {B, C}} {
+		if !closed.HasCannotLink(want[0], want[1]) {
+			t.Errorf("missing induced cannot-link(%d,%d)", want[0], want[1])
+		}
+	}
+	if closed.Len() != 6 {
+		t.Errorf("closure has %d constraints, want 6", closed.Len())
+	}
+}
+
+// TestClosurePaperCounterexample reproduces the paper's second example:
+// with cannot-link(A,B), cannot-link(C,D) and must-link(B,C), the closure
+// derives cannot-link(A,C) and cannot-link(B,D) but must know nothing about
+// (A,D).
+func TestClosurePaperCounterexample(t *testing.T) {
+	const (
+		A = 0
+		B = 1
+		C = 2
+		D = 3
+	)
+	s := NewSet()
+	s.Add(A, B, false)
+	s.Add(C, D, false)
+	s.Add(B, C, true)
+	closed, err := Closure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closed.HasCannotLink(A, C) || !closed.HasCannotLink(B, D) {
+		t.Error("missing induced cannot-links")
+	}
+	if closed.HasCannotLink(A, D) || closed.HasMustLink(A, D) {
+		t.Error("closure invented knowledge about (A,D)")
+	}
+}
+
+func TestClosureMustLinkTransitivity(t *testing.T) {
+	s := NewSet()
+	s.Add(0, 1, true)
+	s.Add(1, 2, true)
+	closed, err := Closure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closed.HasMustLink(0, 2) {
+		t.Error("must-link(0,2) not derived")
+	}
+}
+
+func TestClosureConflict(t *testing.T) {
+	s := NewSet()
+	s.Add(0, 1, true)
+	s.Add(1, 2, true)
+	s.Add(0, 2, false) // contradicts the ML component {0,1,2}
+	if _, err := Closure(s); err == nil {
+		t.Error("expected inconsistency error")
+	}
+}
+
+func TestClosureEmpty(t *testing.T) {
+	closed, err := Closure(NewSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Len() != 0 {
+		t.Errorf("closure of empty set has %d constraints", closed.Len())
+	}
+}
+
+// Property: Closure is idempotent — closing a closed set changes nothing.
+func TestClosureIdempotent(t *testing.T) {
+	f := func(edges [8][2]uint8, kinds uint8) bool {
+		s := NewSet()
+		for i, e := range edges {
+			a, b := int(e[0]%10), int(e[1]%10)
+			if a == b {
+				continue
+			}
+			s.Add(a, b, kinds&(1<<uint(i)) != 0)
+		}
+		c1, err := Closure(s)
+		if err != nil {
+			return true // inconsistent inputs are rejected, fine
+		}
+		c2, err := Closure(c1)
+		if err != nil {
+			return false // a consistent closure must stay consistent
+		}
+		if c1.Len() != c2.Len() {
+			return false
+		}
+		for _, c := range c1.Constraints() {
+			if c.MustLink && !c2.HasMustLink(c.A, c.B) {
+				return false
+			}
+			if !c.MustLink && !c2.HasCannotLink(c.A, c.B) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the closure contains the original constraints, and closure of
+// labels-derived constraints equals the original set (label-derived
+// constraint sets are already transitively closed).
+func TestClosureOfLabelDerivedIsIdentity(t *testing.T) {
+	f := func(labels [8]uint8) bool {
+		y := make([]int, 8)
+		idx := make([]int, 8)
+		for i, l := range labels {
+			y[i] = int(l % 3)
+			idx[i] = i
+		}
+		s := FromLabels(idx, y)
+		closed, err := Closure(s)
+		if err != nil {
+			return false
+		}
+		return closed.Len() == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustLinkComponents(t *testing.T) {
+	s := NewSet()
+	s.Add(0, 1, true)
+	s.Add(1, 2, true)
+	s.Add(5, 6, true)
+	s.Add(3, 7, false) // CL-only objects become singleton components
+	comps := MustLinkComponents(s)
+	if len(comps) != 4 {
+		t.Fatalf("got %d components: %v", len(comps), comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 || comps[0][2] != 2 {
+		t.Errorf("comps[0] = %v", comps[0])
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind()
+	uf.Union(1, 2)
+	uf.Union(2, 3)
+	if !uf.Same(1, 3) {
+		t.Error("1 and 3 must be joined")
+	}
+	if uf.Same(1, 4) {
+		t.Error("4 must be separate")
+	}
+	comps := uf.Components()
+	var sizes []int
+	for _, m := range comps {
+		sizes = append(sizes, len(m))
+	}
+	// {1,2,3} and {4}.
+	if len(comps) != 2 {
+		t.Errorf("components = %v", comps)
+	}
+	_ = sizes
+}
+
+// Property: union-find Same is an equivalence relation consistent with the
+// union operations performed.
+func TestUnionFindProperty(t *testing.T) {
+	f := func(ops [10][2]uint8) bool {
+		uf := NewUnionFind()
+		type edge struct{ a, b int }
+		var edges []edge
+		for _, op := range ops {
+			a, b := int(op[0]%12), int(op[1]%12)
+			uf.Union(a, b)
+			edges = append(edges, edge{a, b})
+		}
+		// Reference: brute-force reachability over the union edges.
+		adj := map[int][]int{}
+		for _, e := range edges {
+			adj[e.a] = append(adj[e.a], e.b)
+			adj[e.b] = append(adj[e.b], e.a)
+		}
+		reach := func(from, to int) bool {
+			seen := map[int]bool{from: true}
+			stack := []int{from}
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if v == to {
+					return true
+				}
+				for _, w := range adj[v] {
+					if !seen[w] {
+						seen[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+			return false
+		}
+		for a := 0; a < 12; a++ {
+			for b := 0; b < 12; b++ {
+				if _, ok := adj[a]; !ok {
+					continue
+				}
+				if _, ok := adj[b]; !ok {
+					continue
+				}
+				if uf.Same(a, b) != reach(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package constraints
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakePair(t *testing.T) {
+	p := MakePair(5, 2)
+	if p.A != 2 || p.B != 5 {
+		t.Errorf("MakePair(5,2) = %+v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on self-pair")
+		}
+	}()
+	MakePair(3, 3)
+}
+
+func TestSetAddAndQuery(t *testing.T) {
+	s := NewSet()
+	s.Add(1, 2, true)
+	s.Add(4, 3, false)
+	s.Add(2, 1, true) // duplicate in reversed order
+	if s.Len() != 2 || s.NumMustLink() != 1 || s.NumCannotLink() != 1 {
+		t.Errorf("Len=%d ML=%d CL=%d", s.Len(), s.NumMustLink(), s.NumCannotLink())
+	}
+	if !s.HasMustLink(2, 1) || s.HasMustLink(1, 3) {
+		t.Error("HasMustLink")
+	}
+	if !s.HasCannotLink(3, 4) || s.HasCannotLink(1, 2) {
+		t.Error("HasCannotLink")
+	}
+}
+
+func TestSetConstraintsOrderDeterministic(t *testing.T) {
+	s := NewSet()
+	s.Add(5, 1, false)
+	s.Add(2, 3, true)
+	s.Add(0, 9, true)
+	got := s.Constraints()
+	want := []Constraint{
+		{Pair{0, 9}, true},
+		{Pair{2, 3}, true},
+		{Pair{1, 5}, false},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Constraints[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInvolved(t *testing.T) {
+	s := NewSet()
+	s.Add(7, 2, true)
+	s.Add(2, 4, false)
+	got := s.Involved()
+	want := []int{2, 4, 7}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("Involved = %v", got)
+	}
+}
+
+func TestValidateConflict(t *testing.T) {
+	s := NewSet()
+	s.Add(1, 2, true)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Add(1, 2, false)
+	if err := s.Validate(); err == nil {
+		t.Error("expected conflict error")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := NewSet()
+	s.Add(1, 2, true)
+	c := s.Clone()
+	c.Add(3, 4, false)
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Errorf("clone not independent: %d, %d", s.Len(), c.Len())
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	s := NewSet()
+	s.Add(1, 2, true)
+	s.Add(2, 3, false)
+	s.Add(4, 5, true)
+	keep := map[int]bool{1: true, 2: true, 3: true}
+	r := s.Restrict(func(i int) bool { return keep[i] })
+	if r.Len() != 2 || !r.HasMustLink(1, 2) || !r.HasCannotLink(2, 3) || r.HasMustLink(4, 5) {
+		t.Errorf("Restrict = %v", r.Constraints())
+	}
+}
+
+func TestFromLabels(t *testing.T) {
+	y := []int{0, 0, 1, 1}
+	s := FromLabels([]int{0, 1, 2, 3}, y)
+	// Pairs: (0,1) ML, (2,3) ML, and 4 CL cross pairs.
+	if s.NumMustLink() != 2 || s.NumCannotLink() != 4 {
+		t.Errorf("ML=%d CL=%d", s.NumMustLink(), s.NumCannotLink())
+	}
+	if !s.HasMustLink(0, 1) || !s.HasMustLink(2, 3) || !s.HasCannotLink(0, 2) {
+		t.Error("wrong constraint types")
+	}
+}
+
+// Property: FromLabels over k indices yields exactly k(k-1)/2 constraints,
+// and every constraint's sense matches the labels.
+func TestFromLabelsProperty(t *testing.T) {
+	f := func(labels [7]uint8) bool {
+		y := make([]int, 7)
+		idx := make([]int, 7)
+		for i, l := range labels {
+			y[i] = int(l % 3)
+			idx[i] = i
+		}
+		s := FromLabels(idx, y)
+		if s.Len() != 21 {
+			return false
+		}
+		for _, c := range s.Constraints() {
+			if c.MustLink != (y[c.A] == y[c.B]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package constraints
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cvcp/internal/stats"
+)
+
+func TestSplitLabelsExactCover(t *testing.T) {
+	r := stats.NewRand(1)
+	idx := []int{0, 2, 4, 6, 8, 10, 12, 14, 16, 18}
+	folds, err := SplitLabels(r, idx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	seen := map[int]int{}
+	for _, f := range folds {
+		for _, o := range f.TestIdx {
+			seen[o]++
+		}
+		if len(f.TrainIdx)+len(f.TestIdx) != len(idx) {
+			t.Errorf("train+test = %d+%d != %d", len(f.TrainIdx), len(f.TestIdx), len(idx))
+		}
+		// Train and test must be disjoint.
+		inTest := map[int]bool{}
+		for _, o := range f.TestIdx {
+			inTest[o] = true
+		}
+		for _, o := range f.TrainIdx {
+			if inTest[o] {
+				t.Errorf("object %d in both train and test", o)
+			}
+		}
+	}
+	for _, o := range idx {
+		if seen[o] != 1 {
+			t.Errorf("object %d appears in %d test folds, want 1", o, seen[o])
+		}
+	}
+}
+
+func TestSplitLabelsErrors(t *testing.T) {
+	r := stats.NewRand(1)
+	if _, err := SplitLabels(r, []int{1, 2, 3}, 1); err == nil {
+		t.Error("expected error for <2 folds")
+	}
+	if _, err := SplitLabels(r, []int{1, 2, 3}, 2); err == nil {
+		t.Error("expected error when folds cannot hold >=2 objects")
+	}
+}
+
+// TestSplitConstraintsIndependence verifies the paper's central requirement
+// (§3.1): no test-fold constraint may be derivable from the training-fold
+// constraints. Since both sides are closures over disjoint object sets, it
+// suffices to check the object sets are disjoint and every constraint stays
+// within its side.
+func TestSplitConstraintsIndependence(t *testing.T) {
+	r := stats.NewRand(7)
+	y := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 0, 1, 2}
+	idx := make([]int, len(y))
+	for i := range idx {
+		idx[i] = i
+	}
+	s := FromLabels(idx, y)
+	folds, err := SplitConstraints(r, s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, f := range folds {
+		inTest := map[int]bool{}
+		for _, o := range f.TestObjects {
+			inTest[o] = true
+		}
+		for _, o := range f.TrainObjects {
+			if inTest[o] {
+				t.Fatalf("fold %d: object %d on both sides", fi, o)
+			}
+		}
+		for _, c := range f.Train.Constraints() {
+			if inTest[c.A] || inTest[c.B] {
+				t.Errorf("fold %d: training constraint %+v touches a test object", fi, c)
+			}
+		}
+		for _, c := range f.Test.Constraints() {
+			if !inTest[c.A] || !inTest[c.B] {
+				t.Errorf("fold %d: test constraint %+v leaves the test fold", fi, c)
+			}
+		}
+	}
+}
+
+// Property: for random consistent constraint sets, the train side of every
+// fold is transitively closed (closing it again is a no-op), so no implicit
+// information can leak into the test fold.
+func TestSplitConstraintsTrainClosed(t *testing.T) {
+	f := func(labels [12]uint8, seed int64) bool {
+		y := make([]int, 12)
+		idx := make([]int, 12)
+		for i, l := range labels {
+			y[i] = int(l % 3)
+			idx[i] = i
+		}
+		s := FromLabels(idx, y)
+		folds, err := SplitConstraints(stats.NewRand(seed), s, 3)
+		if err != nil {
+			return true
+		}
+		for _, fo := range folds {
+			closed, err := Closure(fo.Train)
+			if err != nil || closed.Len() != fo.Train.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitConstraintsInconsistent(t *testing.T) {
+	s := NewSet()
+	s.Add(0, 1, true)
+	s.Add(1, 2, true)
+	s.Add(0, 2, false)
+	if _, err := SplitConstraints(stats.NewRand(1), s, 2); err == nil {
+		t.Error("expected inconsistency error")
+	}
+}
+
+func TestNaiveSplitLeaksThroughClosure(t *testing.T) {
+	// Construct the paper's leakage scenario deterministically: with
+	// must-link(A,B), must-link(C,D), cannot-link(B,C), the implied
+	// cannot-link(A,D) may land in a different fold than its premises.
+	s := NewSet()
+	s.Add(0, 1, true)
+	s.Add(2, 3, true)
+	s.Add(1, 2, false)
+	s.Add(0, 3, false) // explicitly state the implied constraint too
+	// Scan seeds until the naive split puts (0,3) alone in the test fold
+	// while its premises sit in training — the leak.
+	leaked := false
+	for seed := int64(0); seed < 50 && !leaked; seed++ {
+		folds, err := NaiveSplitConstraints(stats.NewRand(seed), s, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range folds {
+			if f.Test.HasCannotLink(0, 3) &&
+				f.Train.HasMustLink(0, 1) && f.Train.HasMustLink(2, 3) && f.Train.HasCannotLink(1, 2) {
+				leaked = true
+			}
+		}
+	}
+	if !leaked {
+		t.Error("naive splitting never produced the leakage the paper warns about; the ablation baseline is broken")
+	}
+	// The proper procedure can never leak: (0,3) in the test fold forces
+	// its premises out of training because they share objects.
+	for seed := int64(0); seed < 50; seed++ {
+		folds, err := SplitConstraints(stats.NewRand(seed), s, 2)
+		if err != nil {
+			continue // too few constrained objects for the fold count is fine
+		}
+		for _, f := range folds {
+			if f.Test.HasCannotLink(0, 3) &&
+				f.Train.HasMustLink(0, 1) && f.Train.HasMustLink(2, 3) && f.Train.HasCannotLink(1, 2) {
+				t.Fatal("proper split leaked")
+			}
+		}
+	}
+}
+
+func TestPoolAndSample(t *testing.T) {
+	r := stats.NewRand(3)
+	y := make([]int, 100)
+	for i := range y {
+		y[i] = i % 4 // 4 classes of 25
+	}
+	pool := Pool(r, y, 0.2) // 5 objects per class -> 20 objects -> 190 pairs
+	if got := pool.Len(); got != 190 {
+		t.Errorf("pool size = %d, want 190", got)
+	}
+	sub := Sample(r, pool, 0.1)
+	if got := sub.Len(); got != 19 {
+		t.Errorf("sample size = %d, want 19", got)
+	}
+	// Every sampled constraint must come from the pool with the same sense.
+	for _, c := range sub.Constraints() {
+		if c.MustLink && !pool.HasMustLink(c.A, c.B) {
+			t.Errorf("sampled ML %v not in pool", c)
+		}
+		if !c.MustLink && !pool.HasCannotLink(c.A, c.B) {
+			t.Errorf("sampled CL %v not in pool", c)
+		}
+	}
+}
+
+func TestPoolMinimumOnePerClass(t *testing.T) {
+	r := stats.NewRand(3)
+	y := []int{0, 0, 1, 1, 2, 2}
+	pool := Pool(r, y, 0.01) // rounds to at least one object per class
+	// 3 chosen objects -> 3 pairwise constraints, all cannot-link.
+	if pool.Len() != 3 || pool.NumCannotLink() != 3 {
+		t.Errorf("pool = %v", pool.Constraints())
+	}
+}

@@ -1,0 +1,58 @@
+package constraints
+
+// UnionFind is a disjoint-set forest with path compression and union by
+// rank, keyed by arbitrary non-negative object indices (it grows on demand).
+type UnionFind struct {
+	parent map[int]int
+	rank   map[int]int
+}
+
+// NewUnionFind returns an empty union-find structure.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{parent: map[int]int{}, rank: map[int]int{}}
+}
+
+// Find returns the representative of x's set, adding x as a singleton if it
+// was not seen before.
+func (u *UnionFind) Find(x int) int {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.Find(p)
+	u.parent[x] = root
+	return root
+}
+
+// Union merges the sets containing a and b and returns the new root.
+func (u *UnionFind) Union(a, b int) int {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return ra
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Components returns the members of each set, keyed by representative.
+// Only elements ever passed to Find/Union appear.
+func (u *UnionFind) Components() map[int][]int {
+	out := map[int][]int{}
+	for x := range u.parent {
+		out[u.Find(x)] = append(out[u.Find(x)], x)
+	}
+	return out
+}

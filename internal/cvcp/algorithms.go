@@ -1,0 +1,81 @@
+package cvcp
+
+import (
+	"cvcp/internal/cluster/fosc"
+	"cvcp/internal/cluster/hierarchy"
+	"cvcp/internal/cluster/mpckmeans"
+	"cvcp/internal/constraints"
+	"cvcp/internal/dataset"
+)
+
+// FOSCOpticsDend is the density-based semi-supervised clustering method of
+// the paper's evaluation: an OPTICS reachability dendrogram from which FOSC
+// extracts the constraint-optimal flat clustering. The parameter under
+// selection is OPTICS's MinPts; it is also used as FOSC's minimum cluster
+// size, the convention of the original FOSC-OPTICSDend experiments.
+type FOSCOpticsDend struct {
+	// MinClusterSize overrides the minimum selectable cluster size; 0 means
+	// "use the MinPts parameter".
+	MinClusterSize int
+}
+
+// Name implements Algorithm.
+func (FOSCOpticsDend) Name() string { return "FOSC-OPTICSDend" }
+
+// Cluster implements Algorithm. The OPTICS ordering depends only on the
+// data and MinPts, so it could be cached across folds; it is recomputed here
+// to keep the Algorithm contract stateless (the experiment harness layers a
+// cache on top where it matters).
+func (f FOSCOpticsDend) Cluster(ds *dataset.Dataset, train *constraints.Set, minPts int, seed int64) ([]int, error) {
+	res, err := opticsDendrogram(ds, minPts)
+	if err != nil {
+		return nil, err
+	}
+	mcs := f.MinClusterSize
+	if mcs == 0 {
+		mcs = minPts
+	}
+	ext, err := fosc.Extract(res, train, fosc.Config{MinClusterSize: mcs})
+	if err != nil {
+		return nil, err
+	}
+	return ext.Labels, nil
+}
+
+func opticsDendrogram(ds *dataset.Dataset, minPts int) (*hierarchy.Dendrogram, error) {
+	ord, err := opticsRun(ds, minPts)
+	if err != nil {
+		return nil, err
+	}
+	return hierarchy.FromReachability(ord)
+}
+
+// MPCKMeans adapts the MPCK-Means implementation to the Algorithm
+// interface. The parameter under selection is the number of clusters k.
+type MPCKMeans struct {
+	// Weight is the constraint-violation weight w; 0 means 1.
+	Weight float64
+	// DisableMetric turns off metric learning (plain PCK-Means), an
+	// ablation; the default (false) is full MPCK-Means.
+	DisableMetric bool
+	// MaxIter bounds the EM iterations; 0 means the package default.
+	MaxIter int
+}
+
+// Name implements Algorithm.
+func (m MPCKMeans) Name() string { return "MPCKmeans" }
+
+// Cluster implements Algorithm.
+func (m MPCKMeans) Cluster(ds *dataset.Dataset, train *constraints.Set, k int, seed int64) ([]int, error) {
+	res, err := mpckmeans.Run(ds.X, train, mpckmeans.Config{
+		K:           k,
+		Seed:        seed,
+		Weight:      m.Weight,
+		LearnMetric: !m.DisableMetric,
+		MaxIter:     m.MaxIter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
+}

@@ -1,0 +1,288 @@
+// Package cvcp implements the paper's contribution: CVCP ("Cross-Validation
+// for finding Clustering Parameters"), a model-selection framework for
+// semi-supervised clustering (Section 3 of the paper).
+//
+// Given a semi-supervised clustering algorithm with one open parameter, a
+// dataset, and partial supervision — labeled objects (Scenario I) or pairwise
+// constraints (Scenario II) — CVCP scores every candidate parameter value by
+// n-fold cross-validation: the partition produced from the training-side
+// supervision is treated as a binary classifier over the test fold's
+// constraints (must-link = class 1, cannot-link = class 0) and scored with
+// the average per-class F-measure. The parameter with the best average score
+// wins, and the final clustering is produced with all supervision.
+package cvcp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cvcp/internal/constraints"
+	"cvcp/internal/dataset"
+	"cvcp/internal/eval"
+	"cvcp/internal/stats"
+)
+
+// Algorithm is a semi-supervised clustering algorithm with a single integer
+// parameter under selection (the number of clusters k for partitional
+// methods, MinPts for density-based methods).
+//
+// Cluster must cluster the whole dataset using only the supervision in
+// train, and return one cluster label per object; label -1 marks noise.
+// Implementations must be deterministic given (ds, train, param, seed).
+type Algorithm interface {
+	Name() string
+	Cluster(ds *dataset.Dataset, train *constraints.Set, param int, seed int64) ([]int, error)
+}
+
+// Options configures a CVCP run.
+type Options struct {
+	// NFolds is the number of cross-validation folds. 0 means 10 (the
+	// paper's typical n). When the supervision involves too few objects to
+	// give every fold at least two, the fold count is automatically lowered
+	// (never below 2).
+	NFolds int
+	// Seed drives fold construction and the per-fold algorithm seeds.
+	Seed int64
+	// Parallel evaluates candidate parameters concurrently.
+	Parallel bool
+}
+
+func (o Options) nFolds() int {
+	if o.NFolds <= 0 {
+		return 10
+	}
+	return o.NFolds
+}
+
+// ParamScore is the cross-validated quality of one candidate parameter.
+type ParamScore struct {
+	Param      int
+	Score      float64   // mean of FoldScores — the paper's CVCP criterion
+	FoldScores []float64 // average constraint F-measure per test fold
+}
+
+// Selection is the outcome of a CVCP model-selection run.
+type Selection struct {
+	Algorithm string
+	Best      ParamScore
+	// Scores holds every candidate's result, in the order the candidates
+	// were given.
+	Scores []ParamScore
+	// FinalLabels is the clustering of the full dataset with the selected
+	// parameter using all available supervision (step 4 of the framework).
+	FinalLabels []int
+}
+
+// ScoreCurve returns the candidates' mean scores in candidate order —
+// the "CVCP internal classification scores" curve of Figures 5–8.
+func (s *Selection) ScoreCurve() []float64 {
+	out := make([]float64, len(s.Scores))
+	for i, ps := range s.Scores {
+		out[i] = ps.Score
+	}
+	return out
+}
+
+// SelectWithLabels runs CVCP in Scenario I (§3.1.1): the supervision is the
+// set of labeled objects labeledIdx (their labels are read from ds.Y). The
+// labeled objects are partitioned into folds; constraints are derived
+// independently inside the training side and the test side of each fold.
+func SelectWithLabels(alg Algorithm, ds *dataset.Dataset, labeledIdx []int, params []int, opt Options) (*Selection, error) {
+	if err := checkArgs(alg, ds, params); err != nil {
+		return nil, err
+	}
+	if !ds.Labeled() {
+		return nil, fmt.Errorf("cvcp: Scenario I requires a labeled dataset")
+	}
+	if len(labeledIdx) < 4 {
+		return nil, fmt.Errorf("cvcp: need at least 4 labeled objects, got %d", len(labeledIdx))
+	}
+	n := adaptFolds(opt.nFolds(), len(labeledIdx))
+	r := stats.NewRand(opt.Seed)
+	folds, err := constraints.SplitLabels(r, labeledIdx, n)
+	if err != nil {
+		return nil, err
+	}
+	fs := make([]cvFold, len(folds))
+	for i, f := range folds {
+		fs[i] = cvFold{
+			train: constraints.FromLabels(f.TrainIdx, ds.Y),
+			test:  constraints.FromLabels(f.TestIdx, ds.Y),
+		}
+	}
+	full := constraints.FromLabels(labeledIdx, ds.Y)
+	return run(alg, ds, params, opt, fs, full)
+}
+
+// SelectWithConstraints runs CVCP in Scenario II (§3.1.2): the supervision
+// is a set of pairwise constraints. The constraint graph is transitively
+// closed, the involved objects are partitioned into folds, and constraints
+// crossing the train/test boundary are removed, guaranteeing test
+// independence.
+func SelectWithConstraints(alg Algorithm, ds *dataset.Dataset, cons *constraints.Set, params []int, opt Options) (*Selection, error) {
+	if err := checkArgs(alg, ds, params); err != nil {
+		return nil, err
+	}
+	if cons == nil || cons.Len() == 0 {
+		return nil, fmt.Errorf("cvcp: Scenario II requires a non-empty constraint set")
+	}
+	closed, err := constraints.Closure(cons)
+	if err != nil {
+		return nil, err
+	}
+	n := adaptFolds(opt.nFolds(), len(closed.Involved()))
+	r := stats.NewRand(opt.Seed)
+	cfolds, err := constraints.SplitConstraints(r, cons, n)
+	if err != nil {
+		return nil, err
+	}
+	fs := make([]cvFold, len(cfolds))
+	for i, f := range cfolds {
+		fs[i] = cvFold{train: f.Train, test: f.Test}
+	}
+	return run(alg, ds, params, opt, fs, closed)
+}
+
+func checkArgs(alg Algorithm, ds *dataset.Dataset, params []int) error {
+	if alg == nil {
+		return fmt.Errorf("cvcp: nil algorithm")
+	}
+	if ds == nil || ds.N() == 0 {
+		return fmt.Errorf("cvcp: empty dataset")
+	}
+	if len(params) == 0 {
+		return fmt.Errorf("cvcp: empty parameter range")
+	}
+	return nil
+}
+
+// adaptFolds lowers the fold count so each fold gets at least three objects
+// (never below 2 folds). A test fold needs several pairs before the derived
+// constraints include must-links with useful probability; with fewer than
+// three objects per fold the constraint classifier is scored almost
+// exclusively on cannot-links, which over-merging and over-noising
+// clusterings can both satisfy.
+func adaptFolds(want, objects int) int {
+	n := want
+	if max := objects / 3; n > max {
+		n = max
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// cvFold is one train/test split of supervision, already in constraint form.
+type cvFold struct{ train, test *constraints.Set }
+
+func run(alg Algorithm, ds *dataset.Dataset, params []int, opt Options,
+	folds []cvFold, full *constraints.Set) (*Selection, error) {
+
+	scores := make([]ParamScore, len(params))
+	evalParam := func(pi int) error {
+		p := params[pi]
+		ps := ParamScore{Param: p, FoldScores: make([]float64, len(folds))}
+		for fi, f := range folds {
+			seed := stats.SplitSeed(opt.Seed, pi*len(folds)+fi+1)
+			labels, err := alg.Cluster(ds, f.train, p, seed)
+			if err != nil {
+				return fmt.Errorf("cvcp: %s with parameter %d: %w", alg.Name(), p, err)
+			}
+			ps.FoldScores[fi] = eval.ConstraintF(labels, f.test)
+		}
+		ps.Score = stats.Mean(ps.FoldScores)
+		scores[pi] = ps
+		return nil
+	}
+
+	if opt.Parallel {
+		var wg sync.WaitGroup
+		errs := make([]error, len(params))
+		for pi := range params {
+			wg.Add(1)
+			go func(pi int) {
+				defer wg.Done()
+				errs[pi] = evalParam(pi)
+			}(pi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for pi := range params {
+			if err := evalParam(pi); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	best := scores[0]
+	for _, ps := range scores[1:] {
+		if ps.Score > best.Score {
+			best = ps
+		}
+	}
+	finalLabels, err := alg.Cluster(ds, full, best.Param, stats.SplitSeed(opt.Seed, 0))
+	if err != nil {
+		return nil, fmt.Errorf("cvcp: final clustering: %w", err)
+	}
+	return &Selection{
+		Algorithm:   alg.Name(),
+		Best:        best,
+		Scores:      scores,
+		FinalLabels: finalLabels,
+	}, nil
+}
+
+// SelectBySilhouette is the classical unsupervised model-selection baseline
+// the paper compares against for MPCKmeans (§4.3): every candidate parameter
+// clusters the data with the full supervision, the Silhouette coefficient of
+// each partition is computed, and the best-scoring parameter wins.
+func SelectBySilhouette(alg Algorithm, ds *dataset.Dataset, full *constraints.Set, params []int, opt Options) (*Selection, error) {
+	if err := checkArgs(alg, ds, params); err != nil {
+		return nil, err
+	}
+	if full == nil {
+		full = constraints.NewSet()
+	}
+	scores := make([]ParamScore, len(params))
+	labelsPer := make([][]int, len(params))
+	for pi, p := range params {
+		labels, err := alg.Cluster(ds, full, p, stats.SplitSeed(opt.Seed, pi+1))
+		if err != nil {
+			return nil, fmt.Errorf("cvcp: %s with parameter %d: %w", alg.Name(), p, err)
+		}
+		labelsPer[pi] = labels
+		scores[pi] = ParamScore{Param: p, Score: eval.Silhouette(ds.X, labels)}
+	}
+	bi := 0
+	for pi := range scores {
+		if scores[pi].Score > scores[bi].Score {
+			bi = pi
+		}
+	}
+	return &Selection{
+		Algorithm:   alg.Name() + "+silhouette",
+		Best:        scores[bi],
+		Scores:      scores,
+		FinalLabels: labelsPer[bi],
+	}, nil
+}
+
+// SortScores returns a copy of scores ordered by decreasing Score (ties by
+// increasing parameter), useful for reporting.
+func SortScores(scores []ParamScore) []ParamScore {
+	out := append([]ParamScore(nil), scores...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Param < out[j].Param
+	})
+	return out
+}

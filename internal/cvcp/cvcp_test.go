@@ -1,0 +1,221 @@
+package cvcp
+
+import (
+	"fmt"
+	"testing"
+
+	"cvcp/internal/constraints"
+	"cvcp/internal/dataset"
+	"cvcp/internal/stats"
+)
+
+// blobsDataset builds k well-separated 2-d blobs of size m.
+func blobsDataset(seed int64, k, m int, gap float64) *dataset.Dataset {
+	r := stats.NewRand(seed)
+	var x [][]float64
+	var y []int
+	for c := 0; c < k; c++ {
+		cx := gap * float64(c%3)
+		cy := gap * float64(c/3)
+		for i := 0; i < m; i++ {
+			x = append(x, []float64{cx + r.NormFloat64(), cy + r.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	ds := dataset.MustNew(fmt.Sprintf("blobs-%d", k), x, y)
+	return ds
+}
+
+func allIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func TestSelectWithLabelsRecoversK(t *testing.T) {
+	ds := blobsDataset(1, 3, 20, 15)
+	r := stats.NewRand(2)
+	labeled := ds.SampleLabels(r, 0.25)
+	sel, err := SelectWithLabels(MPCKMeans{}, ds, labeled, []int{2, 3, 4, 5, 6}, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best.Param != 3 {
+		t.Errorf("selected k=%d, want 3 (scores %v)", sel.Best.Param, sel.ScoreCurve())
+	}
+	if len(sel.FinalLabels) != ds.N() {
+		t.Errorf("final labels length %d", len(sel.FinalLabels))
+	}
+}
+
+func TestSelectWithConstraintsRecoversK(t *testing.T) {
+	ds := blobsDataset(4, 4, 15, 15)
+	r := stats.NewRand(5)
+	pool := constraints.Pool(r, ds.Y, 0.3)
+	cons := constraints.Sample(r, pool, 0.5)
+	sel, err := SelectWithConstraints(MPCKMeans{}, ds, cons, []int{2, 3, 4, 5, 6}, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best.Param != 4 {
+		t.Errorf("selected k=%d, want 4 (scores %v)", sel.Best.Param, sel.ScoreCurve())
+	}
+}
+
+func TestSelectFOSCWithLabels(t *testing.T) {
+	ds := blobsDataset(7, 3, 25, 18)
+	r := stats.NewRand(8)
+	labeled := ds.SampleLabels(r, 0.2)
+	sel, err := SelectWithLabels(FOSCOpticsDend{}, ds, labeled, []int{3, 6, 9, 12}, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best.Score < 0.8 {
+		t.Errorf("best FOSC score %v on easy blobs", sel.Best.Score)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	ds := blobsDataset(1, 2, 10, 10)
+	idx := allIdx(ds.N())
+	if _, err := SelectWithLabels(nil, ds, idx, []int{2}, Options{}); err == nil {
+		t.Error("nil algorithm")
+	}
+	if _, err := SelectWithLabels(MPCKMeans{}, nil, idx, []int{2}, Options{}); err == nil {
+		t.Error("nil dataset")
+	}
+	if _, err := SelectWithLabels(MPCKMeans{}, ds, idx, nil, Options{}); err == nil {
+		t.Error("empty parameter range")
+	}
+	if _, err := SelectWithLabels(MPCKMeans{}, ds, idx[:2], []int{2}, Options{}); err == nil {
+		t.Error("too few labeled objects")
+	}
+	unlabeled := dataset.MustNew("u", ds.X, nil)
+	if _, err := SelectWithLabels(MPCKMeans{}, unlabeled, idx, []int{2}, Options{}); err == nil {
+		t.Error("unlabeled dataset in Scenario I")
+	}
+	if _, err := SelectWithConstraints(MPCKMeans{}, ds, constraints.NewSet(), []int{2}, Options{}); err == nil {
+		t.Error("empty constraint set in Scenario II")
+	}
+	bad := constraints.NewSet()
+	bad.Add(0, 1, true)
+	bad.Add(0, 1, false)
+	if _, err := SelectWithConstraints(MPCKMeans{}, ds, bad, []int{2}, Options{}); err == nil {
+		t.Error("inconsistent constraints")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	ds := blobsDataset(10, 3, 15, 12)
+	r := stats.NewRand(11)
+	labeled := ds.SampleLabels(r, 0.3)
+	params := []int{2, 3, 4, 5}
+	serial, err := SelectWithLabels(MPCKMeans{}, ds, labeled, params, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SelectWithLabels(MPCKMeans{}, ds, labeled, params, Options{Seed: 12, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Scores {
+		if serial.Scores[i].Score != parallel.Scores[i].Score {
+			t.Errorf("param %d: serial %v, parallel %v",
+				params[i], serial.Scores[i].Score, parallel.Scores[i].Score)
+		}
+	}
+	if serial.Best.Param != parallel.Best.Param {
+		t.Error("parallel selection differs")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	ds := blobsDataset(13, 3, 15, 12)
+	labeled := ds.SampleLabels(stats.NewRand(14), 0.3)
+	a, err := SelectWithLabels(MPCKMeans{}, ds, labeled, []int{2, 3, 4}, Options{Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectWithLabels(MPCKMeans{}, ds, labeled, []int{2, 3, 4}, Options{Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Param != b.Best.Param || a.Best.Score != b.Best.Score {
+		t.Error("selection not deterministic")
+	}
+}
+
+func TestSelectBySilhouette(t *testing.T) {
+	ds := blobsDataset(16, 3, 20, 15)
+	sel, err := SelectBySilhouette(MPCKMeans{}, ds, nil, []int{2, 3, 4, 5}, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best.Param != 3 {
+		t.Errorf("silhouette selected k=%d on 3 clean blobs, want 3", sel.Best.Param)
+	}
+}
+
+func TestAdaptFolds(t *testing.T) {
+	cases := []struct{ want, objects, exp int }{
+		{10, 100, 10},
+		{10, 12, 4},
+		{10, 7, 2},
+		{10, 4, 2},
+		{2, 100, 2},
+	}
+	for _, c := range cases {
+		if got := adaptFolds(c.want, c.objects); got != c.exp {
+			t.Errorf("adaptFolds(%d, %d) = %d, want %d", c.want, c.objects, got, c.exp)
+		}
+	}
+}
+
+func TestSortScores(t *testing.T) {
+	in := []ParamScore{{Param: 3, Score: 0.5}, {Param: 2, Score: 0.9}, {Param: 5, Score: 0.9}}
+	out := SortScores(in)
+	if out[0].Param != 2 || out[1].Param != 5 || out[2].Param != 3 {
+		t.Errorf("SortScores = %v", out)
+	}
+	if in[0].Param != 3 {
+		t.Error("SortScores mutated input")
+	}
+}
+
+// Scenario II on label-derived constraints should behave like Scenario I:
+// both must select the planted parameter on easy data.
+func TestScenarioIIReducesToScenarioI(t *testing.T) {
+	ds := blobsDataset(18, 3, 20, 15)
+	labeled := ds.SampleLabels(stats.NewRand(19), 0.25)
+	cons := constraints.FromLabels(labeled, ds.Y)
+	s1, err := SelectWithLabels(MPCKMeans{}, ds, labeled, []int{2, 3, 4, 5}, Options{Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SelectWithConstraints(MPCKMeans{}, ds, cons, []int{2, 3, 4, 5}, Options{Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Best.Param != 3 || s2.Best.Param != 3 {
+		t.Errorf("scenario I selected %d, scenario II selected %d, want 3",
+			s1.Best.Param, s2.Best.Param)
+	}
+}
+
+func TestFOSCOpticsDendNoiseLabels(t *testing.T) {
+	// A far-away pair smaller than MinClusterSize must come out as noise
+	// (-1), demonstrating the density-based noise semantics end to end.
+	x := [][]float64{{0}, {1}, {2}, {3}, {4}, {100}, {101}}
+	y := []int{0, 0, 0, 0, 0, 1, 1}
+	ds := dataset.MustNew("noise", x, y)
+	cons := constraints.FromLabels([]int{0, 1, 2}, y)
+	labels, err := FOSCOpticsDend{MinClusterSize: 3}.Cluster(ds, cons, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[5] != -1 || labels[6] != -1 {
+		t.Errorf("far pair should be noise: %v", labels)
+	}
+}

@@ -1,0 +1,225 @@
+package cvcp
+
+import (
+	"fmt"
+
+	"cvcp/internal/cluster/copkmeans"
+	"cvcp/internal/constraints"
+	"cvcp/internal/dataset"
+	"cvcp/internal/eval"
+	"cvcp/internal/stats"
+)
+
+// This file implements the extensions the paper's conclusion names as
+// future work: additional semi-supervised clustering methods under CVCP
+// (COP-KMeans) and extending the framework to compare and select between
+// alternative clustering methods, not just parameters of one method.
+
+// COPKMeans adapts hard-constrained COP-KMeans (Wagstaff et al., ICML 2001)
+// to the Algorithm interface. The parameter under selection is k. Infeasible
+// (k, constraints) combinations yield a failed clustering rather than an
+// error: every object becomes noise, which scores near zero and steers the
+// selection away — mirroring how a practitioner treats a configuration the
+// algorithm cannot satisfy.
+type COPKMeans struct {
+	// MaxIter bounds the Lloyd iterations; 0 means the package default.
+	MaxIter int
+}
+
+// Name implements Algorithm.
+func (COPKMeans) Name() string { return "COP-KMeans" }
+
+// Cluster implements Algorithm.
+func (c COPKMeans) Cluster(ds *dataset.Dataset, train *constraints.Set, k int, seed int64) ([]int, error) {
+	res, err := copkmeans.Run(ds.X, train, copkmeans.Config{K: k, Seed: seed, MaxIter: c.MaxIter})
+	if err != nil {
+		if isInfeasible(err) {
+			labels := make([]int, ds.N())
+			for i := range labels {
+				labels[i] = -1
+			}
+			return labels, nil
+		}
+		return nil, err
+	}
+	return res.Labels, nil
+}
+
+func isInfeasible(err error) bool {
+	for e := err; e != nil; {
+		if e == copkmeans.ErrInfeasible {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// Candidate pairs an algorithm with its parameter range for cross-method
+// selection.
+type Candidate struct {
+	Algorithm Algorithm
+	Params    []int
+}
+
+// AlgorithmSelection reports the winner of a cross-method selection along
+// with each candidate's own selection result.
+type AlgorithmSelection struct {
+	Winner    *Selection
+	PerMethod []*Selection
+}
+
+// SelectAlgorithmWithLabels extends CVCP across clustering paradigms (the
+// paper's final future-work item): every candidate algorithm runs its own
+// CVCP parameter selection on the same supervision, and the algorithm whose
+// best parameter achieves the highest cross-validated constraint F-measure
+// wins. All candidates share the same seed, hence the same folds, so the
+// comparison is paired.
+func SelectAlgorithmWithLabels(cands []Candidate, ds *dataset.Dataset, labeledIdx []int, opt Options) (*AlgorithmSelection, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("cvcp: no candidate algorithms")
+	}
+	out := &AlgorithmSelection{}
+	for _, cand := range cands {
+		sel, err := SelectWithLabels(cand.Algorithm, ds, labeledIdx, cand.Params, opt)
+		if err != nil {
+			return nil, fmt.Errorf("cvcp: candidate %s: %w", cand.Algorithm.Name(), err)
+		}
+		out.PerMethod = append(out.PerMethod, sel)
+		if out.Winner == nil || sel.Best.Score > out.Winner.Best.Score {
+			out.Winner = sel
+		}
+	}
+	return out, nil
+}
+
+// SelectAlgorithmWithConstraints is SelectAlgorithmWithLabels for
+// Scenario II supervision.
+func SelectAlgorithmWithConstraints(cands []Candidate, ds *dataset.Dataset, cons *constraints.Set, opt Options) (*AlgorithmSelection, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("cvcp: no candidate algorithms")
+	}
+	out := &AlgorithmSelection{}
+	for _, cand := range cands {
+		sel, err := SelectWithConstraints(cand.Algorithm, ds, cons, cand.Params, opt)
+		if err != nil {
+			return nil, fmt.Errorf("cvcp: candidate %s: %w", cand.Algorithm.Name(), err)
+		}
+		out.PerMethod = append(out.PerMethod, sel)
+		if out.Winner == nil || sel.Best.Score > out.Winner.Best.Score {
+			out.Winner = sel
+		}
+	}
+	return out, nil
+}
+
+// ValidityIndex is a relative clustering validity criterion used as an
+// unsupervised model-selection baseline. Better reports whether larger
+// values are better (Calinski–Harabasz, Dunn, Silhouette) or smaller ones
+// (Davies–Bouldin).
+type ValidityIndex struct {
+	Name   string
+	Score  func(x [][]float64, labels []int) float64
+	Better func(a, b float64) bool
+}
+
+// ValidityIndices returns the classical criteria from the comparative study
+// the paper cites (Vendramin et al. 2010): Silhouette (the paper's own
+// baseline), Davies–Bouldin, Calinski–Harabasz and Dunn.
+func ValidityIndices() []ValidityIndex {
+	return []ValidityIndex{
+		{Name: "silhouette", Score: eval.Silhouette, Better: func(a, b float64) bool { return a > b }},
+		{Name: "davies-bouldin", Score: eval.DaviesBouldin, Better: func(a, b float64) bool { return a < b }},
+		{Name: "calinski-harabasz", Score: eval.CalinskiHarabasz, Better: func(a, b float64) bool { return a > b }},
+		{Name: "dunn", Score: eval.Dunn, Better: func(a, b float64) bool { return a > b }},
+	}
+}
+
+// SelectByValidityIndex generalizes SelectBySilhouette to any relative
+// validity criterion: every candidate parameter clusters the data with the
+// full supervision and the criterion picks the winner.
+func SelectByValidityIndex(alg Algorithm, ds *dataset.Dataset, full *constraints.Set, params []int, vi ValidityIndex, opt Options) (*Selection, error) {
+	if err := checkArgs(alg, ds, params); err != nil {
+		return nil, err
+	}
+	if vi.Score == nil || vi.Better == nil {
+		return nil, fmt.Errorf("cvcp: validity index %q incomplete", vi.Name)
+	}
+	if full == nil {
+		full = constraints.NewSet()
+	}
+	scores := make([]ParamScore, len(params))
+	labelsPer := make([][]int, len(params))
+	bi := 0
+	for pi, p := range params {
+		labels, err := alg.Cluster(ds, full, p, stats.SplitSeed(opt.Seed, pi+1))
+		if err != nil {
+			return nil, fmt.Errorf("cvcp: %s with parameter %d: %w", alg.Name(), p, err)
+		}
+		labelsPer[pi] = labels
+		scores[pi] = ParamScore{Param: p, Score: vi.Score(ds.X, labels)}
+		if pi > 0 && vi.Better(scores[pi].Score, scores[bi].Score) {
+			bi = pi
+		}
+	}
+	return &Selection{
+		Algorithm:   alg.Name() + "+" + vi.Name,
+		Best:        scores[bi],
+		Scores:      scores,
+		FinalLabels: labelsPer[bi],
+	}, nil
+}
+
+// BootstrapWithLabels scores one parameter by bootstrap resampling instead
+// of cross-validation — the alternative partition-based evaluation the
+// paper's Section 3.1 mentions ("the same reasoning would apply to other
+// partition-based evaluation procedures such as bootstrapping"). Each round
+// draws labeled objects with replacement as the training side; the
+// out-of-bag labeled objects form the test side, with constraints derived
+// independently on each side exactly as in Scenario I.
+func BootstrapWithLabels(alg Algorithm, ds *dataset.Dataset, labeledIdx []int, params []int, rounds int, opt Options) (*Selection, error) {
+	if err := checkArgs(alg, ds, params); err != nil {
+		return nil, err
+	}
+	if !ds.Labeled() {
+		return nil, fmt.Errorf("cvcp: bootstrap requires a labeled dataset")
+	}
+	if rounds < 1 {
+		rounds = 10
+	}
+	if len(labeledIdx) < 4 {
+		return nil, fmt.Errorf("cvcp: need at least 4 labeled objects, got %d", len(labeledIdx))
+	}
+	r := stats.NewRand(opt.Seed)
+	folds := make([]cvFold, 0, rounds)
+	for len(folds) < rounds {
+		inBag := map[int]bool{}
+		bag := make([]int, 0, len(labeledIdx))
+		for i := 0; i < len(labeledIdx); i++ {
+			o := labeledIdx[r.Intn(len(labeledIdx))]
+			if !inBag[o] {
+				inBag[o] = true
+				bag = append(bag, o)
+			}
+		}
+		var oob []int
+		for _, o := range labeledIdx {
+			if !inBag[o] {
+				oob = append(oob, o)
+			}
+		}
+		if len(bag) < 2 || len(oob) < 2 {
+			continue // resample: degenerate bootstrap draw
+		}
+		folds = append(folds, cvFold{
+			train: constraints.FromLabels(bag, ds.Y),
+			test:  constraints.FromLabels(oob, ds.Y),
+		})
+	}
+	full := constraints.FromLabels(labeledIdx, ds.Y)
+	return run(alg, ds, params, opt, folds, full)
+}

@@ -1,0 +1,78 @@
+package cvcp
+
+import (
+	"testing"
+
+	"cvcp/internal/constraints"
+	"cvcp/internal/datagen"
+	"cvcp/internal/eval"
+	"cvcp/internal/stats"
+)
+
+// TestLeakedConstraintsScoreHigher demonstrates the paper's Section 3.1
+// warning quantitatively. Under a naive cross-validation that partitions raw
+// constraint *edges* into folds, some test constraints are derivable from
+// the training constraints via the transitive closure (Figure 2 of the
+// paper) — they were implicitly available during clustering. The clustering
+// therefore satisfies them more often than genuinely independent test
+// constraints, and an evaluation that keeps them underestimates the true
+// classification error.
+//
+// The test runs the naive split many times, partitions each test fold into
+// its leaked part (⊆ closure(train)) and its fresh part, and compares the
+// satisfaction rates of the two parts under a clustering trained on the
+// training constraints.
+func TestLeakedConstraintsScoreHigher(t *testing.T) {
+	ds := datagen.ALOI(17, 1)[0]
+	alg := FOSCOpticsDend{}
+
+	var leakedSum, freshSum float64
+	var leakedN, freshN int
+	for trial := 0; trial < 12; trial++ {
+		r := stats.NewRand(int64(trial) * 131)
+		given := constraints.Sample(r, constraints.Pool(r, ds.Y, 0.12), 0.6)
+		nfolds, err := constraints.NaiveSplitConstraints(stats.NewRand(int64(trial)), given, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi, f := range nfolds {
+			trainClosed, err := constraints.Closure(f.Train)
+			if err != nil {
+				continue // inconsistent naive training side; skip
+			}
+			leaked := constraints.NewSet()
+			fresh := constraints.NewSet()
+			for _, c := range f.Test.Constraints() {
+				derivable := (c.MustLink && trainClosed.HasMustLink(c.A, c.B)) ||
+					(!c.MustLink && trainClosed.HasCannotLink(c.A, c.B))
+				if derivable {
+					leaked.AddConstraint(c)
+				} else {
+					fresh.AddConstraint(c)
+				}
+			}
+			if leaked.Len() == 0 || fresh.Len() == 0 {
+				continue
+			}
+			labels, err := alg.Cluster(ds, trainClosed, 6, int64(fi))
+			if err != nil {
+				t.Fatal(err)
+			}
+			leakedSum += eval.SatisfactionRate(labels, leaked) * float64(leaked.Len())
+			freshSum += eval.SatisfactionRate(labels, fresh) * float64(fresh.Len())
+			leakedN += leaked.Len()
+			freshN += fresh.Len()
+		}
+	}
+	if leakedN == 0 || freshN == 0 {
+		t.Fatal("no leaked/fresh constraints observed; the scenario is degenerate")
+	}
+	leakedRate := leakedSum / float64(leakedN)
+	freshRate := freshSum / float64(freshN)
+	t.Logf("satisfaction of leaked test constraints %.4f (n=%d) vs fresh %.4f (n=%d)",
+		leakedRate, leakedN, freshRate, freshN)
+	if leakedRate < freshRate-0.01 {
+		t.Errorf("leaked constraints scored %.4f, below fresh %.4f — the leakage bias must be non-negative",
+			leakedRate, freshRate)
+	}
+}

@@ -1,0 +1,54 @@
+package cvcp
+
+import (
+	"sync"
+
+	"cvcp/internal/cluster/optics"
+	"cvcp/internal/dataset"
+)
+
+// The OPTICS ordering (and hence the dendrogram) depends only on the data
+// and MinPts — not on the constraints. Inside one CVCP run every fold and
+// the final clustering would recompute the same O(n²) ordering, so a small
+// process-wide cache keyed by dataset identity and MinPts removes that
+// redundancy. Only a few recent datasets are retained: experiment trials
+// create datasets in sequence and never revisit old ones.
+const cacheDatasets = 8
+
+var opticsCache = struct {
+	sync.Mutex
+	order []*dataset.Dataset
+	byDS  map[*dataset.Dataset]map[int]*optics.Result
+}{byDS: map[*dataset.Dataset]map[int]*optics.Result{}}
+
+func opticsRun(ds *dataset.Dataset, minPts int) (*optics.Result, error) {
+	opticsCache.Lock()
+	if m, ok := opticsCache.byDS[ds]; ok {
+		if res, ok := m[minPts]; ok {
+			opticsCache.Unlock()
+			return res, nil
+		}
+	}
+	opticsCache.Unlock()
+
+	res, err := optics.Run(ds.X, minPts)
+	if err != nil {
+		return nil, err
+	}
+
+	opticsCache.Lock()
+	defer opticsCache.Unlock()
+	m, ok := opticsCache.byDS[ds]
+	if !ok {
+		m = map[int]*optics.Result{}
+		opticsCache.byDS[ds] = m
+		opticsCache.order = append(opticsCache.order, ds)
+		if len(opticsCache.order) > cacheDatasets {
+			evict := opticsCache.order[0]
+			opticsCache.order = opticsCache.order[1:]
+			delete(opticsCache.byDS, evict)
+		}
+	}
+	m[minPts] = res
+	return res, nil
+}

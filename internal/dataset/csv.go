@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the dataset as CSV rows of the form
+// attr1,attr2,...,attrD[,label]. The label column is emitted only when the
+// dataset is labeled.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	dim := d.Dims()
+	rec := make([]string, 0, dim+1)
+	for i, row := range d.X {
+		rec = rec[:0]
+		for _, v := range row {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if d.Y != nil {
+			rec = append(rec, strconv.Itoa(d.Y[i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the dataset to the named file.
+func (d *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV parses a dataset from CSV. When hasLabel is true the last column
+// is interpreted as an integer class label; otherwise all columns are
+// attributes and the returned dataset is unlabeled.
+func ReadCSV(name string, r io.Reader, hasLabel bool) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var x [][]float64
+	var y []int
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: reading CSV: %w", name, err)
+		}
+		line++
+		nattr := len(rec)
+		if hasLabel {
+			nattr--
+		}
+		if nattr <= 0 {
+			return nil, fmt.Errorf("dataset %q: line %d has no attributes", name, line)
+		}
+		row := make([]float64, nattr)
+		for j := 0; j < nattr; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset %q: line %d column %d: %w", name, line, j+1, err)
+			}
+			row[j] = v
+		}
+		x = append(x, row)
+		if hasLabel {
+			lab, err := strconv.Atoi(rec[nattr])
+			if err != nil {
+				return nil, fmt.Errorf("dataset %q: line %d label: %w", name, line, err)
+			}
+			y = append(y, lab)
+		}
+	}
+	return New(name, x, y)
+}
+
+// LoadCSV reads a dataset from the named file.
+func LoadCSV(name, path string, hasLabel bool) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f, hasLabel)
+}

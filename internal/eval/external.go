@@ -1,0 +1,139 @@
+package eval
+
+import "sort"
+
+// OverallF computes the Overall F-Measure between a clustering and the
+// ground-truth classes, restricted to the evaluation objects in eval (all
+// objects when eval is nil). Following the paper's protocol, callers pass
+// the objects NOT involved in the supervision given to the algorithm.
+//
+// For each ground-truth class j the best-matching cluster i is found by the
+// pairwise F-measure F(j,i) = 2·n_ij / (|class j| + |cluster i|), and the
+// Overall F-Measure is the class-size-weighted average of the best matches.
+// Each noise object (cluster label < 0) is treated as its own singleton
+// cluster, so unclustered objects can match only classes of size one.
+func OverallF(labels, truth []int, eval []int) float64 {
+	idx := eval
+	if idx == nil {
+		idx = make([]int, len(labels))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	if len(idx) == 0 {
+		return 0
+	}
+	// Renumber noise objects into singleton clusters.
+	clusterOf := make(map[int]int, len(idx))
+	next := 0
+	remap := map[int]int{}
+	for _, o := range idx {
+		l := labels[o]
+		if l < 0 {
+			clusterOf[o] = next
+			next++
+			continue
+		}
+		id, ok := remap[l]
+		if !ok {
+			id = next
+			next++
+			remap[l] = id
+		}
+		clusterOf[o] = id
+	}
+	clusterSize := make([]int, next)
+	classSize := map[int]int{}
+	inter := map[[2]int]int{} // (class, cluster) -> count
+	for _, o := range idx {
+		c := clusterOf[o]
+		clusterSize[c]++
+		classSize[truth[o]]++
+		inter[[2]int{truth[o], c}]++
+	}
+	bestF := map[int]float64{}
+	for key, nij := range inter {
+		class, cluster := key[0], key[1]
+		f := 2 * float64(nij) / float64(classSize[class]+clusterSize[cluster])
+		if f > bestF[class] {
+			bestF[class] = f
+		}
+	}
+	classes := make([]int, 0, len(classSize))
+	for c := range classSize {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	var total float64
+	for _, c := range classes {
+		total += float64(classSize[c]) / float64(len(idx)) * bestF[c]
+	}
+	return total
+}
+
+// pairCounts tallies the pair-counting contingency (a: same/same, b:
+// same/diff, c: diff/same, d: diff/diff) between two labelings over the
+// evaluation objects. Noise objects count as singleton clusters.
+func pairCounts(labels, truth []int, idx []int) (a, b, c, d float64) {
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			oi, oj := idx[i], idx[j]
+			sameL := SameCluster(labels, oi, oj)
+			sameT := truth[oi] == truth[oj]
+			switch {
+			case sameL && sameT:
+				a++
+			case sameL && !sameT:
+				b++
+			case !sameL && sameT:
+				c++
+			default:
+				d++
+			}
+		}
+	}
+	return
+}
+
+// RandIndex computes the Rand index between the clustering and the ground
+// truth over the evaluation objects (all when eval is nil).
+func RandIndex(labels, truth []int, eval []int) float64 {
+	idx := allIdx(labels, eval)
+	a, b, c, d := pairCounts(labels, truth, idx)
+	total := a + b + c + d
+	if total == 0 {
+		return 0
+	}
+	return (a + d) / total
+}
+
+// AdjustedRandIndex computes the Hubert–Arabie adjusted Rand index between
+// the clustering and the ground truth over the evaluation objects.
+func AdjustedRandIndex(labels, truth []int, eval []int) float64 {
+	idx := allIdx(labels, eval)
+	a, b, c, _ := pairCounts(labels, truth, idx)
+	n := float64(len(idx))
+	if n < 2 {
+		return 0
+	}
+	pairs := n * (n - 1) / 2
+	sumL := a + b // same-cluster pairs
+	sumT := a + c // same-class pairs
+	expected := sumL * sumT / pairs
+	maxIdx := (sumL + sumT) / 2
+	if maxIdx == expected {
+		return 0
+	}
+	return (a - expected) / (maxIdx - expected)
+}
+
+func allIdx(labels []int, eval []int) []int {
+	if eval != nil {
+		return eval
+	}
+	idx := make([]int, len(labels))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"math"
+
+	"cvcp/internal/linalg"
+)
+
+// Silhouette computes the mean silhouette coefficient of the labeling under
+// the Euclidean distance — the internal relative validity criterion the
+// paper uses as the classical model-selection baseline for MPCKmeans
+// (Kaufman & Rousseeuw 1990). Objects in singleton clusters score 0; noise
+// objects (label < 0) are excluded. It returns 0 when fewer than two
+// clusters are present (the coefficient is undefined there, and a selector
+// must not prefer such a solution).
+func Silhouette(x [][]float64, labels []int) float64 {
+	n := len(x)
+	members := map[int][]int{}
+	for i, l := range labels {
+		if l >= 0 {
+			members[l] = append(members[l], i)
+		}
+	}
+	if len(members) < 2 {
+		return 0
+	}
+	var total float64
+	var count int
+	for i := 0; i < n; i++ {
+		li := labels[i]
+		if li < 0 {
+			continue
+		}
+		count++
+		own := members[li]
+		if len(own) == 1 {
+			continue // s(i) = 0 by convention
+		}
+		var aSum float64
+		for _, j := range own {
+			if j != i {
+				aSum += linalg.Dist(x[i], x[j])
+			}
+		}
+		a := aSum / float64(len(own)-1)
+		b := math.Inf(1)
+		for l, other := range members {
+			if l == li {
+				continue
+			}
+			var s float64
+			for _, j := range other {
+				s += linalg.Dist(x[i], x[j])
+			}
+			if m := s / float64(len(other)); m < b {
+				b = m
+			}
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}

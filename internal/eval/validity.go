@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"math"
+
+	"cvcp/internal/linalg"
+)
+
+// This file implements the classical relative clustering validity criteria
+// beyond the Silhouette coefficient — Davies–Bouldin, Calinski–Harabasz and
+// Dunn — from the comparative study the paper cites for unsupervised model
+// selection (Vendramin, Campello & Hruschka, Statistical Analysis and Data
+// Mining 2010). They serve as additional baselines against CVCP for
+// partitional methods. All three ignore noise objects (label < 0) and are
+// defined to return a "worst" value when fewer than two clusters exist, so
+// a selector never prefers a degenerate solution.
+
+// clusterIndex groups object indices by cluster label, skipping noise.
+func clusterIndex(labels []int) map[int][]int {
+	members := map[int][]int{}
+	for i, l := range labels {
+		if l >= 0 {
+			members[l] = append(members[l], i)
+		}
+	}
+	return members
+}
+
+// DaviesBouldin computes the Davies–Bouldin index (lower is better): the
+// mean over clusters of the worst ratio (s_i + s_j) / d(c_i, c_j), where
+// s_i is the mean distance of cluster i's members to its centroid. It
+// returns +Inf when fewer than two clusters are present.
+func DaviesBouldin(x [][]float64, labels []int) float64 {
+	members := clusterIndex(labels)
+	if len(members) < 2 {
+		return math.Inf(1)
+	}
+	ids := make([]int, 0, len(members))
+	for l := range members {
+		ids = append(ids, l)
+	}
+	centroids := map[int][]float64{}
+	scatter := map[int]float64{}
+	for l, idx := range members {
+		c := linalg.MeanInto(nil, x, idx)
+		centroids[l] = c
+		var s float64
+		for _, i := range idx {
+			s += linalg.Dist(x[i], c)
+		}
+		scatter[l] = s / float64(len(idx))
+	}
+	var total float64
+	for _, i := range ids {
+		worst := 0.0
+		for _, j := range ids {
+			if i == j {
+				continue
+			}
+			d := linalg.Dist(centroids[i], centroids[j])
+			if d == 0 {
+				return math.Inf(1) // coincident centroids: degenerate
+			}
+			if r := (scatter[i] + scatter[j]) / d; r > worst {
+				worst = r
+			}
+		}
+		total += worst
+	}
+	return total / float64(len(ids))
+}
+
+// CalinskiHarabasz computes the Calinski–Harabasz (variance ratio)
+// criterion (higher is better): [B/(k-1)] / [W/(n-k)] with B the
+// between-cluster and W the within-cluster sum of squares. It returns 0
+// when fewer than two clusters are present or W is zero.
+func CalinskiHarabasz(x [][]float64, labels []int) float64 {
+	members := clusterIndex(labels)
+	k := len(members)
+	if k < 2 {
+		return 0
+	}
+	var idxAll []int
+	for _, idx := range members {
+		idxAll = append(idxAll, idx...)
+	}
+	n := len(idxAll)
+	if n <= k {
+		return 0
+	}
+	overall := linalg.MeanInto(nil, x, idxAll)
+	var between, within float64
+	for _, idx := range members {
+		c := linalg.MeanInto(nil, x, idx)
+		between += float64(len(idx)) * linalg.SqDist(c, overall)
+		for _, i := range idx {
+			within += linalg.SqDist(x[i], c)
+		}
+	}
+	if within == 0 {
+		return 0
+	}
+	return (between / float64(k-1)) / (within / float64(n-k))
+}
+
+// Dunn computes the Dunn index (higher is better): the smallest
+// between-cluster single-link distance divided by the largest cluster
+// diameter. It is O(n²) and returns 0 when fewer than two clusters are
+// present or some cluster has zero diameter spread across all pairs.
+func Dunn(x [][]float64, labels []int) float64 {
+	members := clusterIndex(labels)
+	if len(members) < 2 {
+		return 0
+	}
+	minBetween := math.Inf(1)
+	maxDiam := 0.0
+	ids := make([]int, 0, len(members))
+	for l := range members {
+		ids = append(ids, l)
+	}
+	for a := 0; a < len(ids); a++ {
+		ia := members[ids[a]]
+		for _, p := range ia {
+			for _, q := range ia {
+				if d := linalg.Dist(x[p], x[q]); d > maxDiam {
+					maxDiam = d
+				}
+			}
+		}
+		for b := a + 1; b < len(ids); b++ {
+			for _, p := range ia {
+				for _, q := range members[ids[b]] {
+					if d := linalg.Dist(x[p], x[q]); d < minBetween {
+						minBetween = d
+					}
+				}
+			}
+		}
+	}
+	if maxDiam == 0 {
+		return 0
+	}
+	return minBetween / maxDiam
+}

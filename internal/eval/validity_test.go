@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func twoTightClusters() ([][]float64, []int) {
+	return [][]float64{{0, 0}, {0.2, 0}, {10, 0}, {10.2, 0}}, []int{0, 0, 1, 1}
+}
+
+func TestDaviesBouldin(t *testing.T) {
+	x, good := twoTightClusters()
+	bad := []int{0, 1, 0, 1}
+	db1 := DaviesBouldin(x, good)
+	db2 := DaviesBouldin(x, bad)
+	if !(db1 < db2) {
+		t.Errorf("DB(good)=%v must be below DB(bad)=%v", db1, db2)
+	}
+	if !math.IsInf(DaviesBouldin(x, []int{0, 0, 0, 0}), 1) {
+		t.Error("single cluster must score +Inf")
+	}
+	// Coincident centroids degenerate to +Inf.
+	xc := [][]float64{{0}, {0}, {0}, {0}}
+	if !math.IsInf(DaviesBouldin(xc, []int{0, 1, 0, 1}), 1) {
+		t.Error("coincident centroids must score +Inf")
+	}
+}
+
+func TestCalinskiHarabasz(t *testing.T) {
+	x, good := twoTightClusters()
+	bad := []int{0, 1, 0, 1}
+	if !(CalinskiHarabasz(x, good) > CalinskiHarabasz(x, bad)) {
+		t.Error("CH must prefer the correct partition")
+	}
+	if CalinskiHarabasz(x, []int{0, 0, 0, 0}) != 0 {
+		t.Error("single cluster must score 0")
+	}
+	// Perfect separation with zero within-variance: defined as 0 (degenerate).
+	xz := [][]float64{{0}, {0}, {5}, {5}}
+	if CalinskiHarabasz(xz, []int{0, 0, 1, 1}) != 0 {
+		t.Error("zero within-variance must score 0")
+	}
+}
+
+func TestDunn(t *testing.T) {
+	x, good := twoTightClusters()
+	bad := []int{0, 1, 0, 1}
+	dg := Dunn(x, good)
+	db := Dunn(x, bad)
+	if !(dg > db) {
+		t.Errorf("Dunn(good)=%v must exceed Dunn(bad)=%v", dg, db)
+	}
+	// Good split: min between = 9.8, max diameter = 0.2 -> 49.
+	if math.Abs(dg-49) > 1e-9 {
+		t.Errorf("Dunn(good) = %v, want 49", dg)
+	}
+	if Dunn(x, []int{0, 0, 0, 0}) != 0 {
+		t.Error("single cluster must score 0")
+	}
+}
+
+// Property: all three indices ignore noise and never panic; DB >= 0,
+// CH >= 0, Dunn >= 0 on arbitrary labelings.
+func TestValidityIndicesNonNegative(t *testing.T) {
+	f := func(pts [8][2]float64, labels [8]uint8) bool {
+		x := make([][]float64, 8)
+		lab := make([]int, 8)
+		for i := range pts {
+			a := math.Mod(pts[i][0], 50)
+			b := math.Mod(pts[i][1], 50)
+			if math.IsNaN(a) {
+				a = 0
+			}
+			if math.IsNaN(b) {
+				b = 0
+			}
+			x[i] = []float64{a, b}
+			lab[i] = int(labels[i]%4) - 1
+		}
+		db := DaviesBouldin(x, lab)
+		ch := CalinskiHarabasz(x, lab)
+		dn := Dunn(x, lab)
+		return db >= 0 && ch >= 0 && dn >= 0 && !math.IsNaN(db) && !math.IsNaN(ch) && !math.IsNaN(dn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

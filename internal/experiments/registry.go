@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one of the paper's tables or figures.
+type Runner struct {
+	Name        string // experiment id, e.g. "table5" or "fig9"
+	Description string // what the paper reports there
+	Run         func(Config) error
+}
+
+// Registry returns every experiment in paper order. Names match the paper's
+// numbering: fig5–fig12 and table1–table16.
+func Registry() []Runner {
+	var rs []Runner
+	add := func(name, desc string, run func(Config) error) {
+		rs = append(rs, Runner{Name: name, Description: desc, Run: run})
+	}
+
+	add("fig5", "FOSC-OPTICSDend (label scenario): internal vs external curves, representative ALOI set",
+		func(c Config) error { return curveFigure(c, c.Out, methodFOSC, scenarioLabels) })
+	add("fig6", "MPCKmeans (label scenario): internal vs external curves, representative ALOI set",
+		func(c Config) error { return curveFigure(c, c.Out, methodMPCK, scenarioLabels) })
+	add("fig7", "FOSC-OPTICSDend (constraint scenario): internal vs external curves, representative ALOI set",
+		func(c Config) error { return curveFigure(c, c.Out, methodFOSC, scenarioConstraints) })
+	add("fig8", "MPCKmeans (constraint scenario): internal vs external curves, representative ALOI set",
+		func(c Config) error { return curveFigure(c, c.Out, methodMPCK, scenarioConstraints) })
+
+	add("table1", "FOSC-OPTICSDend (label scenario): correlation of internal scores with Overall F-Measure",
+		func(c Config) error { return correlationTable(c, c.Out, methodFOSC, scenarioLabels) })
+	add("table2", "MPCKmeans (label scenario): correlation of internal scores with Overall F-Measure",
+		func(c Config) error { return correlationTable(c, c.Out, methodMPCK, scenarioLabels) })
+	add("table3", "FOSC-OPTICSDend (constraint scenario): correlation of internal scores with Overall F-Measure",
+		func(c Config) error { return correlationTable(c, c.Out, methodFOSC, scenarioConstraints) })
+	add("table4", "MPCKmeans (constraint scenario): correlation of internal scores with Overall F-Measure",
+		func(c Config) error { return correlationTable(c, c.Out, methodMPCK, scenarioConstraints) })
+
+	add("fig9", "FOSC-OPTICSDend (label scenario): ALOI quality boxplots, CVCP vs Expected",
+		func(c Config) error { return boxplotFigure(c, c.Out, methodFOSC, scenarioLabels) })
+	add("fig10", "MPCKmeans (label scenario): ALOI quality boxplots, CVCP vs Expected vs Silhouette",
+		func(c Config) error { return boxplotFigure(c, c.Out, methodMPCK, scenarioLabels) })
+	add("fig11", "FOSC-OPTICSDend (constraint scenario): ALOI quality boxplots, CVCP vs Expected",
+		func(c Config) error { return boxplotFigure(c, c.Out, methodFOSC, scenarioConstraints) })
+	add("fig12", "MPCKmeans (constraint scenario): ALOI quality boxplots, CVCP vs Expected vs Silhouette",
+		func(c Config) error { return boxplotFigure(c, c.Out, methodMPCK, scenarioConstraints) })
+
+	perf := []struct {
+		name string
+		m    method
+		sc   scenario
+		frac float64
+	}{
+		{"table5", methodFOSC, scenarioLabels, 0.05},
+		{"table6", methodFOSC, scenarioLabels, 0.10},
+		{"table7", methodFOSC, scenarioLabels, 0.20},
+		{"table8", methodMPCK, scenarioLabels, 0.05},
+		{"table9", methodMPCK, scenarioLabels, 0.10},
+		{"table10", methodMPCK, scenarioLabels, 0.20},
+		{"table11", methodFOSC, scenarioConstraints, 0.10},
+		{"table12", methodFOSC, scenarioConstraints, 0.20},
+		{"table13", methodFOSC, scenarioConstraints, 0.50},
+		{"table14", methodMPCK, scenarioConstraints, 0.10},
+		{"table15", methodMPCK, scenarioConstraints, 0.20},
+		{"table16", methodMPCK, scenarioConstraints, 0.50},
+	}
+	for _, p := range perf {
+		p := p
+		add(p.name,
+			fmt.Sprintf("%s (%s): average performance with %.0f%% supervision", p.m, p.sc, p.frac*100),
+			func(c Config) error { return performanceTable(c, c.Out, p.m, p.sc, p.frac) })
+	}
+
+	add("ablation-leakage", "ablation (paper §3.1): satisfaction of leaked vs independent test constraints under a naive edge-split CV",
+		func(c Config) error { return leakageAblation(c, c.Out) })
+	add("ablation-validity", "ablation: CVCP vs Davies-Bouldin/Calinski-Harabasz/Dunn/Silhouette selection, MPCKmeans on ALOI",
+		func(c Config) error { return validityAblation(c, c.Out) })
+	return rs
+}
+
+// Lookup returns the named runner, or an error listing valid names.
+func Lookup(name string) (Runner, error) {
+	for _, r := range Registry() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	var names []string
+	for _, r := range Registry() {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q; valid: %v", name, names)
+}

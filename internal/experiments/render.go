@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cvcp/internal/stats"
+)
+
+// table is a minimal fixed-width text table renderer used by all experiment
+// outputs, so the harness prints rows directly comparable to the paper's.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// renderBoxplot prints an ASCII five-number boxplot row scaled to [lo, hi].
+func renderBoxplot(w io.Writer, label string, s stats.FiveNum, lo, hi float64) {
+	const width = 60
+	scale := func(v float64) int {
+		if hi <= lo {
+			return 0
+		}
+		p := (v - lo) / (hi - lo)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		return int(p * (width - 1))
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for i := scale(s.Min); i <= scale(s.Max); i++ {
+		row[i] = '-'
+	}
+	for i := scale(s.Q1); i <= scale(s.Q3); i++ {
+		row[i] = '='
+	}
+	row[scale(s.Median)] = '|'
+	fmt.Fprintf(w, "%-10s %s  med=%.3f q1=%.3f q3=%.3f\n", label, string(row), s.Median, s.Q1, s.Q3)
+}
+
+// curveRows prints a two-series curve (internal vs external) as aligned
+// columns, one row per parameter.
+func curveRows(w io.Writer, params []int, internal, external []float64) {
+	t := &table{header: []string{"param", "CVCP internal score", "clustering score (Overall F)"}}
+	for i, p := range params {
+		t.addRow(fmt.Sprintf("%d", p), f3(internal[i]), f3(external[i]))
+	}
+	t.render(w)
+}

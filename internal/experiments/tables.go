@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cvcp/internal/dataset"
+	"cvcp/internal/stats"
+)
+
+// collect runs cfg-many independent trials of (method, scenario, fraction)
+// on one dataset. dsIndex decorrelates the seed streams of different
+// datasets.
+func collect(cfg Config, ds *dataset.Dataset, dsIndex int, m method, sc scenario, frac float64, trials int) ([]trialResult, error) {
+	out := make([]trialResult, 0, trials)
+	for t := 0; t < trials; t++ {
+		res, err := runTrial(cfg, ds, m, sc, frac, cfg.trialSeed(dsIndex, t))
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s, trial %d: %w", m, ds.Name, t, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// aloiResults runs the configured trials on every set of the ALOI
+// collection and returns the per-set trial results.
+func aloiResults(cfg Config, m method, sc scenario, frac float64) ([][]trialResult, error) {
+	sets := cfg.aloi()
+	out := make([][]trialResult, len(sets))
+	for si, ds := range sets {
+		res, err := collect(cfg, ds, 1000+si, m, sc, frac, cfg.ALOITrials)
+		if err != nil {
+			return nil, err
+		}
+		out[si] = res
+	}
+	return out, nil
+}
+
+// pick applies f to every trial result and returns the values.
+func pick(rs []trialResult, f func(trialResult) float64) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = f(r)
+	}
+	return out
+}
+
+func flatten(per [][]trialResult) []trialResult {
+	var out []trialResult
+	for _, rs := range per {
+		out = append(out, rs...)
+	}
+	return out
+}
+
+// correlationTable regenerates Tables 1–4: the mean Pearson correlation of
+// the internal CVCP score curve with the external Overall F-Measure curve,
+// per dataset (columns) and supervision fraction (rows).
+func correlationTable(cfg Config, w io.Writer, m method, sc scenario) error {
+	fracs := LabelFractions
+	if sc == scenarioConstraints {
+		fracs = PoolFractions
+	}
+	t := &table{header: append([]string{"Percent"}, append([]string{"ALOI"}, titleCase(uciNames)...)...)}
+	uci := cfg.uci()
+	for _, frac := range fracs {
+		row := []string{fmt.Sprintf("%.0f", frac*100)}
+		aloi, err := aloiResults(cfg, m, sc, frac)
+		if err != nil {
+			return err
+		}
+		row = append(row, f3(stats.Mean(pick(flatten(aloi), func(r trialResult) float64 { return r.Corr }))))
+		for di, ds := range uci {
+			rs, err := collect(cfg, ds, di, m, sc, frac, cfg.Trials)
+			if err != nil {
+				return err
+			}
+			row = append(row, f3(stats.Mean(pick(rs, func(r trialResult) float64 { return r.Corr }))))
+		}
+		t.addRow(row...)
+	}
+	fmt.Fprintf(w, "%s (%s) — correlation of internal scores with Overall F-Measure\n", m, sc)
+	t.render(w)
+	return nil
+}
+
+// performanceTable regenerates Tables 5–16: mean and standard deviation of
+// the external quality achieved by CVCP, the expected quality of a random
+// guess from the range, and (for MPCKmeans) the Silhouette baseline, with
+// paired t-tests at α=0.05.
+func performanceTable(cfg Config, w io.Writer, m method, sc scenario, frac float64) error {
+	withSil := m == methodMPCK
+	header := []string{"Data sets", "CVCP Mean", "Exp Mean"}
+	if withSil {
+		header = append(header, "Silh Mean")
+	}
+	header = append(header, "CVCP std", "Exp std")
+	if withSil {
+		header = append(header, "Silh std")
+	}
+	header = append(header, "signif")
+	t := &table{header: header}
+
+	addRow := func(name string, rs []trialResult) {
+		cvcpV := pick(rs, func(r trialResult) float64 { return r.CVCP })
+		expV := pick(rs, func(r trialResult) float64 { return r.Expected })
+		silV := pick(rs, func(r trialResult) float64 { return r.Sil })
+		row := []string{name, f3(stats.Mean(cvcpV)), f3(stats.Mean(expV))}
+		if withSil {
+			row = append(row, f3(stats.Mean(silV)))
+		}
+		row = append(row, f3(stats.StdDev(cvcpV)), f3(stats.StdDev(expV)))
+		if withSil {
+			row = append(row, f3(stats.StdDev(silV)))
+		}
+		row = append(row, significance(cvcpV, expV, silV, withSil))
+		t.addRow(row...)
+	}
+
+	aloi, err := aloiResults(cfg, m, sc, frac)
+	if err != nil {
+		return err
+	}
+	// The paper t-tests each ALOI set separately over its trials and
+	// reports how many sets are significant; with one trial per set the
+	// collection itself provides the pairs.
+	flat := flatten(aloi)
+	addRow("ALOI", flat)
+
+	for di, ds := range cfg.uci() {
+		rs, err := collect(cfg, ds, di, m, sc, frac, cfg.Trials)
+		if err != nil {
+			return err
+		}
+		addRow(titleCase([]string{ds.Name})[0], rs)
+	}
+
+	unit := "labeled data"
+	if sc == scenarioConstraints {
+		unit = "constraints from the constraint pool"
+	}
+	fmt.Fprintf(w, "%s (%s) — average performance using %.0f percent of %s as input\n",
+		m, sc, frac*100, unit)
+	t.render(w)
+
+	if cfg.ALOITrials >= 2 {
+		sig := 0
+		for _, rs := range aloi {
+			res, err := stats.PairedTTest(
+				pick(rs, func(r trialResult) float64 { return r.CVCP }),
+				pick(rs, func(r trialResult) float64 { return r.Expected }), 0.05)
+			if err == nil && res.Significant {
+				sig++
+			}
+		}
+		fmt.Fprintf(w, "%d/%d ALOI sets significant (CVCP vs Expected, paired t-test, α=0.05)\n", sig, len(aloi))
+	}
+	return nil
+}
+
+// significance reports which strategy wins and whether the paired t-test of
+// CVCP against the strongest competitor is significant at α=0.05: "*" marks
+// a significant CVCP win, "(-)" a significant CVCP loss, "ns" no
+// significance.
+func significance(cvcpV, expV, silV []float64, withSil bool) string {
+	comp := expV
+	if withSil && stats.Mean(silV) > stats.Mean(expV) {
+		comp = silV
+	}
+	res, err := stats.PairedTTest(cvcpV, comp, 0.05)
+	if err != nil || !res.Significant {
+		return "ns"
+	}
+	if res.MeanDiff > 0 {
+		return "*"
+	}
+	return "(-)"
+}
+
+func titleCase(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if n == "" {
+			continue
+		}
+		out[i] = string(n[0]-'a'+'A') + n[1:]
+	}
+	return out
+}

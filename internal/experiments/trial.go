@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cvcp/internal/constraints"
+	corecvcp "cvcp/internal/cvcp"
+	"cvcp/internal/dataset"
+	"cvcp/internal/eval"
+	"cvcp/internal/stats"
+)
+
+// method identifies which of the paper's two semi-supervised clustering
+// methods a trial exercises.
+type method int
+
+const (
+	methodFOSC method = iota
+	methodMPCK
+)
+
+func (m method) String() string {
+	if m == methodFOSC {
+		return "FOSC-OPTICSDend"
+	}
+	return "MPCKmeans"
+}
+
+func (m method) algorithm() corecvcp.Algorithm {
+	if m == methodFOSC {
+		return corecvcp.FOSCOpticsDend{}
+	}
+	return corecvcp.MPCKMeans{}
+}
+
+func (m method) params(ds *dataset.Dataset) []int {
+	if m == methodFOSC {
+		return MinPtsRange
+	}
+	return kRange(ds)
+}
+
+// scenario identifies the supervision form.
+type scenario int
+
+const (
+	scenarioLabels scenario = iota
+	scenarioConstraints
+)
+
+func (s scenario) String() string {
+	if s == scenarioLabels {
+		return "label scenario"
+	}
+	return "constraint scenario"
+}
+
+// trialResult is the outcome of one independent experiment on one dataset:
+// the internal CVCP score curve, the external Overall F-Measure curve over
+// the same parameters, their correlation, and the external quality achieved
+// by each model-selection strategy.
+type trialResult struct {
+	Params   []int
+	Internal []float64 // CVCP cross-validated constraint F per parameter
+	External []float64 // Overall F-Measure per parameter (full supervision)
+	Corr     float64   // Pearson correlation of the two curves
+	Best     int       // parameter CVCP selected
+	CVCP     float64   // external quality at the CVCP-selected parameter
+	Expected float64   // mean external quality over the range (random guess)
+	Sil      float64   // external quality at the Silhouette-selected parameter
+	SilBest  int       // parameter Silhouette selected
+}
+
+// runTrial executes one experiment: draw supervision, run CVCP, cluster with
+// every candidate parameter under full supervision, and evaluate externally
+// on the objects not involved in the supervision (Section 4.1).
+func runTrial(cfg Config, ds *dataset.Dataset, m method, sc scenario, frac float64, seed int64) (trialResult, error) {
+	r := stats.NewRand(seed)
+	alg := m.algorithm()
+	params := m.params(ds)
+
+	var full *constraints.Set
+	var involved []int
+	var sel *corecvcp.Selection
+	var err error
+
+	opt := corecvcp.Options{NFolds: cfg.NFolds, Seed: stats.SplitSeed(seed, 1)}
+	switch sc {
+	case scenarioLabels:
+		labeled := ds.SampleLabels(r, frac)
+		full = constraints.FromLabels(labeled, ds.Y)
+		involved = labeled
+		sel, err = corecvcp.SelectWithLabels(alg, ds, labeled, params, opt)
+	default:
+		pool := constraints.Pool(r, ds.Y, PoolObjectFraction)
+		given := constraints.Sample(r, pool, frac)
+		full, err = constraints.Closure(given)
+		if err != nil {
+			return trialResult{}, err
+		}
+		involved = given.Involved()
+		sel, err = corecvcp.SelectWithConstraints(alg, ds, given, params, opt)
+	}
+	if err != nil {
+		return trialResult{}, err
+	}
+
+	evalIdx := complement(ds.N(), involved)
+	res := trialResult{
+		Params:   params,
+		Internal: sel.ScoreCurve(),
+		External: make([]float64, len(params)),
+		Best:     sel.Best.Param,
+	}
+	sil := make([]float64, len(params))
+	for pi, p := range params {
+		labels, err := alg.Cluster(ds, full, p, stats.SplitSeed(seed, 100+pi))
+		if err != nil {
+			return trialResult{}, fmt.Errorf("experiments: %s param %d: %w", m, p, err)
+		}
+		res.External[pi] = eval.OverallF(labels, ds.Y, evalIdx)
+		if m == methodMPCK {
+			sil[pi] = eval.Silhouette(ds.X, labels)
+		}
+	}
+	res.Corr = stats.Pearson(res.Internal, res.External)
+	res.Expected = stats.Mean(res.External)
+	res.CVCP = res.External[indexOf(params, sel.Best.Param)]
+	if m == methodMPCK {
+		bi := 0
+		for i := range sil {
+			if sil[i] > sil[bi] {
+				bi = i
+			}
+		}
+		res.Sil = res.External[bi]
+		res.SilBest = params[bi]
+	}
+	return res, nil
+}
+
+func indexOf(params []int, p int) int {
+	for i, v := range params {
+		if v == p {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("experiments: parameter %d not in range %v", p, params))
+}
+
+// complement returns 0..n-1 minus the sorted index list drop.
+func complement(n int, drop []int) []int {
+	in := make([]bool, n)
+	for _, i := range drop {
+		in[i] = true
+	}
+	out := make([]int, 0, n-len(drop))
+	for i := 0; i < n; i++ {
+		if !in[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// trialSeed derives a deterministic seed for (dataset index, trial index).
+func (c Config) trialSeed(dsIndex, trial int) int64 {
+	return stats.SplitSeed(c.Seed, dsIndex*100003+trial)
+}
