@@ -17,9 +17,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	root "cvcp"
@@ -36,6 +38,8 @@ func main() {
 		kmax     = flag.Int("kmax", 10, "largest k candidate (mpck)")
 		folds    = flag.Int("folds", 10, "cross-validation folds")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", -1, "concurrent fold×parameter tasks (-1 = one per CPU, 1 = serial; results are identical either way)")
+		progress = flag.Bool("progress", false, "report grid progress on stderr")
 		quiet    = flag.Bool("quiet", false, "suppress the per-object assignment output")
 	)
 	flag.Parse()
@@ -43,6 +47,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Ctrl-C abandons the selection mid-grid instead of waiting it out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	ds, err := root.LoadCSV(*data, *data, *labeled)
 	if err != nil {
@@ -62,7 +70,15 @@ func main() {
 		fatal(fmt.Errorf("unknown -algo %q (want fosc or mpck)", *algo))
 	}
 
-	opt := root.Options{NFolds: *folds, Seed: *seed}
+	opt := root.Options{NFolds: *folds, Seed: *seed, Workers: *workers, Context: ctx}
+	if *progress {
+		opt.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcvcp: %d/%d fold×parameter tasks", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	var sel *root.Selection
 	switch {
 	case *consPath != "":

@@ -30,6 +30,7 @@ func main() {
 		aloiTr   = flag.Int("aloitrials", 0, "trials per ALOI set (0 = default)")
 		folds    = flag.Int("folds", 0, "cross-validation folds (0 = default; paper uses 10)")
 		seed     = flag.Int64("seed", 0, "master seed (0 = default)")
+		workers  = flag.Int("workers", 0, "concurrent fold×parameter tasks per trial (0 = one per CPU, 1 = serial; output is identical either way)")
 		paper    = flag.Bool("paper", false, "use full paper-scale settings (slow)")
 	)
 	flag.Parse()
@@ -60,6 +61,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	var runners []experiments.Runner
 	if *exp == "all" {

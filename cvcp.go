@@ -28,6 +28,18 @@
 //
 // The examples/ directory contains complete runnable programs, and
 // cmd/experiments regenerates every table and figure of the paper.
+//
+// # Concurrency
+//
+// The cross-validation grid — every (candidate parameter, fold) pair — is
+// scheduled onto a bounded worker pool. Options.Workers bounds the
+// concurrency (0 = serial, -1 = one worker per CPU), Options.Context
+// cancels a selection mid-grid, and Options.Progress observes completion.
+// Selections are bit-identical for every worker count: per-task seeds
+// derive from grid position, never from scheduling order. Expensive
+// intermediates that depend only on the dataset (pairwise distances, OPTICS
+// orderings per MinPts) are shared across folds, parameters and the final
+// clustering through a single-flight cache.
 package cvcp
 
 import (

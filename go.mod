@@ -1,0 +1,3 @@
+module cvcp
+
+go 1.24

@@ -28,7 +28,19 @@ type Result struct {
 // neighbor counting the object itself (the DBSCAN convention); it is +Inf
 // when the dataset has fewer than MinPts objects.
 func Run(x [][]float64, minPts int) (*Result, error) {
-	n := len(x)
+	return run(len(x), minPts, func(i, j int) float64 { return linalg.Dist(x[i], x[j]) })
+}
+
+// RunWithMatrix is Run with distance evaluations replaced by lookups into a
+// precomputed pairwise matrix. A MinPts sweep over the same data (the CVCP
+// candidate grid) shares one matrix instead of recomputing every pairwise
+// distance per MinPts value; dm entries come from linalg.Dist, so the
+// ordering is bit-identical to Run's.
+func RunWithMatrix(dm *linalg.DistMatrix, minPts int) (*Result, error) {
+	return run(dm.N(), minPts, dm.At)
+}
+
+func run(n, minPts int, dist func(i, j int) float64) (*Result, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("optics: empty dataset")
 	}
@@ -36,7 +48,7 @@ func Run(x [][]float64, minPts int) (*Result, error) {
 		return nil, fmt.Errorf("optics: MinPts must be >= 1, got %d", minPts)
 	}
 
-	core := coreDistances(x, minPts)
+	core := coreDistances(n, minPts, dist)
 	processed := make([]bool, n)
 	order := make([]int, 0, n)
 	reach := make([]float64, 0, n)
@@ -63,8 +75,7 @@ func Run(x [][]float64, minPts int) (*Result, error) {
 				if processed[j] {
 					continue
 				}
-				d := linalg.Dist(x[i], x[j])
-				nr := math.Max(core[i], d)
+				nr := math.Max(core[i], dist(i, j))
 				h.pushOrDecrease(j, nr)
 			}
 		}
@@ -74,8 +85,7 @@ func Run(x [][]float64, minPts int) (*Result, error) {
 
 // coreDistances returns, for every object, the distance to its minPts-th
 // nearest neighbor (the object itself counts as the first).
-func coreDistances(x [][]float64, minPts int) []float64 {
-	n := len(x)
+func coreDistances(n, minPts int, dist func(i, j int) float64) []float64 {
 	core := make([]float64, n)
 	if minPts > n {
 		for i := range core {
@@ -87,9 +97,9 @@ func coreDistances(x [][]float64, minPts int) []float64 {
 		return core // distance to itself
 	}
 	d := make([]float64, n)
-	for i := range x {
-		for j := range x {
-			d[j] = linalg.Dist(x[i], x[j])
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d[j] = dist(i, j)
 		}
 		sort.Float64s(d)
 		core[i] = d[minPts-1]

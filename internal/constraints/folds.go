@@ -6,6 +6,26 @@ import (
 	"sort"
 )
 
+// AdaptFolds lowers a requested cross-validation fold count so that each
+// fold receives at least three of the given supervised objects, never going
+// below 2 folds. A test fold needs several objects before the constraints
+// derived from it include must-links with useful probability; with fewer
+// than three objects per fold the constraint classifier is scored almost
+// exclusively on cannot-links, which over-merging and over-noising
+// clusterings can both satisfy. Note the floor of 2 wins over the
+// three-per-fold target when the supervision is tiny (e.g. 4 objects still
+// yield 2 folds of 2), so callers must tolerate 2-object test folds.
+func AdaptFolds(want, objects int) int {
+	n := want
+	if max := objects / 3; n > max {
+		n = max
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
 // LabelFold is one train/test split of labeled objects for the paper's
 // Scenario I (§3.1.1). TrainIdx holds the labeled objects of the n-1
 // training folds combined; TestIdx holds the held-out fold. Constraints are

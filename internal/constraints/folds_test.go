@@ -43,6 +43,176 @@ func TestSplitLabelsExactCover(t *testing.T) {
 	}
 }
 
+// TestAdaptFolds pins the documented auto-lowering: the requested fold
+// count drops to objects/3 but never below 2.
+func TestAdaptFolds(t *testing.T) {
+	cases := []struct {
+		name          string
+		want, objects int
+		exp           int
+	}{
+		{"plenty of objects keeps the request", 10, 100, 10},
+		{"12 objects lower 10 folds to 4", 10, 12, 4},
+		{"7 objects floor at 2", 10, 7, 2},
+		{"4 objects floor at 2", 10, 4, 2},
+		{"a single pair still yields the 2-fold floor", 10, 2, 2},
+		{"zero objects still yields the 2-fold floor", 10, 0, 2},
+		{"small requests pass through", 2, 100, 2},
+		{"exact multiple of three", 10, 30, 10},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := AdaptFolds(c.want, c.objects); got != c.exp {
+				t.Errorf("AdaptFolds(%d, %d) = %d, want %d", c.want, c.objects, got, c.exp)
+			}
+		})
+	}
+}
+
+// TestSplitConstraintsEdgeCases drives the Scenario II fold construction
+// through the supervision shapes that stress the documented auto-lowering:
+// constraint sets far too small for the paper's 10 folds, a single
+// must-link pair, and all-cannot-link sets. For each case the requested 10
+// folds first pass through AdaptFolds (as the selection framework does) and
+// the split must then either succeed with the lowered count or reject the
+// supervision as too small even for the 2-fold floor.
+func TestSplitConstraintsEdgeCases(t *testing.T) {
+	// build returns a constraint set over n objects: consecutive pairs
+	// must-link when ml is true, otherwise every listed pair cannot-link.
+	pairSet := func(pairs [][2]int, ml bool) *Set {
+		s := NewSet()
+		for _, p := range pairs {
+			s.Add(p[0], p[1], ml)
+		}
+		return s
+	}
+	cases := []struct {
+		name      string
+		set       *Set
+		wantFolds int  // expected fold count after auto-lowering from 10
+		wantErr   bool // even the lowered count cannot be satisfied
+	}{
+		{
+			name:      "single must-link pair cannot fill even 2 folds",
+			set:       pairSet([][2]int{{0, 1}}, true),
+			wantFolds: 2,
+			wantErr:   true,
+		},
+		{
+			name:      "single cannot-link pair cannot fill even 2 folds",
+			set:       pairSet([][2]int{{0, 1}}, false),
+			wantFolds: 2,
+			wantErr:   true,
+		},
+		{
+			name:      "two disjoint must-link pairs fill exactly the 2-fold floor",
+			set:       pairSet([][2]int{{0, 1}, {2, 3}}, true),
+			wantFolds: 2,
+		},
+		{
+			name:      "all-cannot-link over 5 objects lowered to 2 folds but one side loses its pairs",
+			set:       pairSet([][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}, false),
+			wantFolds: 2,
+		},
+		{
+			name: "9 constrained objects lower 10 folds to 3",
+			set: pairSet([][2]int{
+				{0, 1}, {2, 3}, {4, 5}, {6, 7}, {7, 8},
+			}, true),
+			wantFolds: 3,
+		},
+		{
+			name: "all-cannot-link over 12 objects lowered to 4 folds",
+			set: func() *Set {
+				s := NewSet()
+				for a := 0; a < 12; a++ {
+					for b := a + 1; b < 12; b++ {
+						s.Add(a, b, false)
+					}
+				}
+				return s
+			}(),
+			wantFolds: 4,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			closed, err := Closure(c.set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := AdaptFolds(10, len(closed.Involved()))
+			if n != c.wantFolds {
+				t.Fatalf("AdaptFolds(10, %d) = %d, want %d", len(closed.Involved()), n, c.wantFolds)
+			}
+			folds, err := SplitConstraints(stats.NewRand(1), c.set, n)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("SplitConstraints succeeded with %d folds, want error", n)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(folds) != n {
+				t.Fatalf("got %d folds, want %d", len(folds), n)
+			}
+			for fi, f := range folds {
+				if len(f.TestObjects) < 2 {
+					t.Errorf("fold %d: %d test objects, want >= 2", fi, len(f.TestObjects))
+				}
+			}
+		})
+	}
+}
+
+// TestSplitLabelsEdgeCases is the Scenario I counterpart: tiny labeled sets
+// must be auto-lowered to the 2-fold floor and then split cleanly.
+func TestSplitLabelsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		objects   int
+		wantFolds int
+		wantErr   bool
+	}{
+		{"4 labeled objects floor at 2 folds", 4, 2, false},
+		{"3 labeled objects cannot fill the floor", 3, 2, true},
+		{"7 labeled objects floor at 2 folds", 7, 2, false},
+		{"12 labeled objects lower to 4 folds", 12, 4, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			idx := make([]int, c.objects)
+			for i := range idx {
+				idx[i] = i * 3
+			}
+			n := AdaptFolds(10, c.objects)
+			if n != c.wantFolds {
+				t.Fatalf("AdaptFolds(10, %d) = %d, want %d", c.objects, n, c.wantFolds)
+			}
+			folds, err := SplitLabels(stats.NewRand(1), idx, n)
+			if c.wantErr {
+				if err == nil {
+					t.Fatal("SplitLabels succeeded, want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(folds) != n {
+				t.Fatalf("got %d folds, want %d", len(folds), n)
+			}
+			for fi, f := range folds {
+				if len(f.TestIdx) < 2 {
+					t.Errorf("fold %d: %d test objects, want >= 2", fi, len(f.TestIdx))
+				}
+			}
+		})
+	}
+}
+
 func TestSplitLabelsErrors(t *testing.T) {
 	r := stats.NewRand(1)
 	if _, err := SplitLabels(r, []int{1, 2, 3}, 1); err == nil {

@@ -23,9 +23,11 @@ type FOSCOpticsDend struct {
 func (FOSCOpticsDend) Name() string { return "FOSC-OPTICSDend" }
 
 // Cluster implements Algorithm. The OPTICS ordering depends only on the
-// data and MinPts, so it could be cached across folds; it is recomputed here
-// to keep the Algorithm contract stateless (the experiment harness layers a
-// cache on top where it matters).
+// data and MinPts — not on the constraints — so it is obtained through the
+// shared run cache (runcache.go): all folds of one MinPts and the final
+// clustering share a single ordering computed on the dataset's shared
+// pairwise-distance matrix, even when the engine schedules them
+// concurrently.
 func (f FOSCOpticsDend) Cluster(ds *dataset.Dataset, train *constraints.Set, minPts int, seed int64) ([]int, error) {
 	res, err := opticsDendrogram(ds, minPts)
 	if err != nil {

@@ -13,13 +13,15 @@
 package cvcp
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
-	"sync"
 
 	"cvcp/internal/constraints"
 	"cvcp/internal/dataset"
 	"cvcp/internal/eval"
+	"cvcp/internal/runner"
 	"cvcp/internal/stats"
 )
 
@@ -44,7 +46,22 @@ type Options struct {
 	NFolds int
 	// Seed drives fold construction and the per-fold algorithm seeds.
 	Seed int64
-	// Parallel evaluates candidate parameters concurrently.
+	// Workers bounds how many fold×parameter tasks the selection engine
+	// runs concurrently. 0 means serial unless Parallel is set; negative
+	// means one worker per CPU. Every task's seed derives from its grid
+	// position, so the result is bit-identical for every worker count.
+	Workers int
+	// Context cancels a selection mid-grid; the selection then returns the
+	// context's error. Nil means context.Background().
+	Context context.Context
+	// Progress, when non-nil, observes grid completion: it is called after
+	// each finished fold×parameter task with (done, total). Calls are
+	// serialized.
+	Progress func(done, total int)
+	// Parallel evaluates the grid with one worker per CPU.
+	//
+	// Deprecated: set Workers instead; Parallel is kept so existing
+	// callers keep their concurrency and is ignored when Workers is set.
 	Parallel bool
 }
 
@@ -53,6 +70,23 @@ func (o Options) nFolds() int {
 		return 10
 	}
 	return o.NFolds
+}
+
+// workers resolves the Options to an effective worker count.
+func (o Options) workers() int {
+	switch {
+	case o.Workers > 0:
+		return o.Workers
+	case o.Workers < 0 || o.Parallel:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
+// engineOptions builds the runner configuration for this selection.
+func (o Options) engineOptions() runner.Options {
+	return runner.Options{Workers: o.workers(), Context: o.Context, OnProgress: o.Progress}
 }
 
 // ParamScore is the cross-validated quality of one candidate parameter.
@@ -98,7 +132,7 @@ func SelectWithLabels(alg Algorithm, ds *dataset.Dataset, labeledIdx []int, para
 	if len(labeledIdx) < 4 {
 		return nil, fmt.Errorf("cvcp: need at least 4 labeled objects, got %d", len(labeledIdx))
 	}
-	n := adaptFolds(opt.nFolds(), len(labeledIdx))
+	n := constraints.AdaptFolds(opt.nFolds(), len(labeledIdx))
 	r := stats.NewRand(opt.Seed)
 	folds, err := constraints.SplitLabels(r, labeledIdx, n)
 	if err != nil {
@@ -131,7 +165,7 @@ func SelectWithConstraints(alg Algorithm, ds *dataset.Dataset, cons *constraints
 	if err != nil {
 		return nil, err
 	}
-	n := adaptFolds(opt.nFolds(), len(closed.Involved()))
+	n := constraints.AdaptFolds(opt.nFolds(), len(closed.Involved()))
 	r := stats.NewRand(opt.Seed)
 	cfolds, err := constraints.SplitConstraints(r, cons, n)
 	if err != nil {
@@ -157,74 +191,47 @@ func checkArgs(alg Algorithm, ds *dataset.Dataset, params []int) error {
 	return nil
 }
 
-// adaptFolds lowers the fold count so each fold gets at least three objects
-// (never below 2 folds). A test fold needs several pairs before the derived
-// constraints include must-links with useful probability; with fewer than
-// three objects per fold the constraint classifier is scored almost
-// exclusively on cannot-links, which over-merging and over-noising
-// clusterings can both satisfy.
-func adaptFolds(want, objects int) int {
-	n := want
-	if max := objects / 3; n > max {
-		n = max
-	}
-	if n < 2 {
-		n = 2
-	}
-	return n
-}
-
 // cvFold is one train/test split of supervision, already in constraint form.
 type cvFold struct{ train, test *constraints.Set }
 
+// run scores every candidate parameter by cross-validation, dispatching the
+// full fold×parameter grid through the execution engine: each (parameter,
+// fold) pair is one independent task whose seed derives from its grid
+// position, so the scores — and hence the selection — are bit-identical for
+// any worker count, including fully serial.
 func run(alg Algorithm, ds *dataset.Dataset, params []int, opt Options,
 	folds []cvFold, full *constraints.Set) (*Selection, error) {
 
 	scores := make([]ParamScore, len(params))
-	evalParam := func(pi int) error {
-		p := params[pi]
-		ps := ParamScore{Param: p, FoldScores: make([]float64, len(folds))}
-		for fi, f := range folds {
-			seed := stats.SplitSeed(opt.Seed, pi*len(folds)+fi+1)
-			labels, err := alg.Cluster(ds, f.train, p, seed)
-			if err != nil {
-				return fmt.Errorf("cvcp: %s with parameter %d: %w", alg.Name(), p, err)
-			}
-			ps.FoldScores[fi] = eval.ConstraintF(labels, f.test)
-		}
-		ps.Score = stats.Mean(ps.FoldScores)
-		scores[pi] = ps
-		return nil
+	for pi, p := range params {
+		scores[pi] = ParamScore{Param: p, FoldScores: make([]float64, len(folds))}
 	}
-
-	if opt.Parallel {
-		var wg sync.WaitGroup
-		errs := make([]error, len(params))
-		for pi := range params {
-			wg.Add(1)
-			go func(pi int) {
-				defer wg.Done()
-				errs[pi] = evalParam(pi)
-			}(pi)
-		}
-		wg.Wait()
-		for _, err := range errs {
+	err := runner.Grid(opt.engineOptions(), len(params), len(folds),
+		func(_ context.Context, pi, fi int) error {
+			seed := stats.SplitSeed(opt.Seed, pi*len(folds)+fi+1)
+			labels, err := alg.Cluster(ds, folds[fi].train, params[pi], seed)
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("cvcp: %s with parameter %d: %w", alg.Name(), params[pi], err)
 			}
-		}
-	} else {
-		for pi := range params {
-			if err := evalParam(pi); err != nil {
-				return nil, err
-			}
-		}
+			scores[pi].FoldScores[fi] = eval.ConstraintF(labels, folds[fi].test)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for pi := range scores {
+		scores[pi].Score = stats.Mean(scores[pi].FoldScores)
 	}
 
 	best := scores[0]
 	for _, ps := range scores[1:] {
 		if ps.Score > best.Score {
 			best = ps
+		}
+	}
+	if opt.Context != nil {
+		if err := opt.Context.Err(); err != nil {
+			return nil, err
 		}
 	}
 	finalLabels, err := alg.Cluster(ds, full, best.Param, stats.SplitSeed(opt.Seed, 0))
@@ -242,36 +249,15 @@ func run(alg Algorithm, ds *dataset.Dataset, params []int, opt Options,
 // SelectBySilhouette is the classical unsupervised model-selection baseline
 // the paper compares against for MPCKmeans (§4.3): every candidate parameter
 // clusters the data with the full supervision, the Silhouette coefficient of
-// each partition is computed, and the best-scoring parameter wins.
+// each partition is computed, and the best-scoring parameter wins. It is
+// SelectByValidityIndex with the Silhouette criterion, so the parameter
+// sweep dispatches through the selection engine.
 func SelectBySilhouette(alg Algorithm, ds *dataset.Dataset, full *constraints.Set, params []int, opt Options) (*Selection, error) {
-	if err := checkArgs(alg, ds, params); err != nil {
-		return nil, err
-	}
-	if full == nil {
-		full = constraints.NewSet()
-	}
-	scores := make([]ParamScore, len(params))
-	labelsPer := make([][]int, len(params))
-	for pi, p := range params {
-		labels, err := alg.Cluster(ds, full, p, stats.SplitSeed(opt.Seed, pi+1))
-		if err != nil {
-			return nil, fmt.Errorf("cvcp: %s with parameter %d: %w", alg.Name(), p, err)
-		}
-		labelsPer[pi] = labels
-		scores[pi] = ParamScore{Param: p, Score: eval.Silhouette(ds.X, labels)}
-	}
-	bi := 0
-	for pi := range scores {
-		if scores[pi].Score > scores[bi].Score {
-			bi = pi
-		}
-	}
-	return &Selection{
-		Algorithm:   alg.Name() + "+silhouette",
-		Best:        scores[bi],
-		Scores:      scores,
-		FinalLabels: labelsPer[bi],
-	}, nil
+	return SelectByValidityIndex(alg, ds, full, params, ValidityIndex{
+		Name:   "silhouette",
+		Score:  eval.Silhouette,
+		Better: func(a, b float64) bool { return a > b },
+	}, opt)
 }
 
 // SortScores returns a copy of scores ordered by decreasing Score (ties by

@@ -158,21 +158,6 @@ func TestSelectBySilhouette(t *testing.T) {
 	}
 }
 
-func TestAdaptFolds(t *testing.T) {
-	cases := []struct{ want, objects, exp int }{
-		{10, 100, 10},
-		{10, 12, 4},
-		{10, 7, 2},
-		{10, 4, 2},
-		{2, 100, 2},
-	}
-	for _, c := range cases {
-		if got := adaptFolds(c.want, c.objects); got != c.exp {
-			t.Errorf("adaptFolds(%d, %d) = %d, want %d", c.want, c.objects, got, c.exp)
-		}
-	}
-}
-
 func TestSortScores(t *testing.T) {
 	in := []ParamScore{{Param: 3, Score: 0.5}, {Param: 2, Score: 0.9}, {Param: 5, Score: 0.9}}
 	out := SortScores(in)

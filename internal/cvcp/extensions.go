@@ -1,12 +1,14 @@
 package cvcp
 
 import (
+	"context"
 	"fmt"
 
 	"cvcp/internal/cluster/copkmeans"
 	"cvcp/internal/constraints"
 	"cvcp/internal/dataset"
 	"cvcp/internal/eval"
+	"cvcp/internal/runner"
 	"cvcp/internal/stats"
 )
 
@@ -143,35 +145,65 @@ func ValidityIndices() []ValidityIndex {
 // validity criterion: every candidate parameter clusters the data with the
 // full supervision and the criterion picks the winner.
 func SelectByValidityIndex(alg Algorithm, ds *dataset.Dataset, full *constraints.Set, params []int, vi ValidityIndex, opt Options) (*Selection, error) {
+	sels, err := SelectByValidityIndices(alg, ds, full, params, []ValidityIndex{vi}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return sels[0], nil
+}
+
+// SelectByValidityIndices evaluates several relative validity criteria over
+// one shared parameter sweep: each candidate parameter clusters the data
+// exactly once (the sweep dispatches through the selection engine), and
+// every criterion picks its winner from the shared partitions. The
+// clustering cost is the dominant term, so comparing n criteria costs the
+// same as comparing one.
+func SelectByValidityIndices(alg Algorithm, ds *dataset.Dataset, full *constraints.Set, params []int, vis []ValidityIndex, opt Options) ([]*Selection, error) {
 	if err := checkArgs(alg, ds, params); err != nil {
 		return nil, err
 	}
-	if vi.Score == nil || vi.Better == nil {
-		return nil, fmt.Errorf("cvcp: validity index %q incomplete", vi.Name)
+	if len(vis) == 0 {
+		return nil, fmt.Errorf("cvcp: no validity indices")
+	}
+	for _, vi := range vis {
+		if vi.Score == nil || vi.Better == nil {
+			return nil, fmt.Errorf("cvcp: validity index %q incomplete", vi.Name)
+		}
 	}
 	if full == nil {
 		full = constraints.NewSet()
 	}
-	scores := make([]ParamScore, len(params))
 	labelsPer := make([][]int, len(params))
-	bi := 0
-	for pi, p := range params {
-		labels, err := alg.Cluster(ds, full, p, stats.SplitSeed(opt.Seed, pi+1))
-		if err != nil {
-			return nil, fmt.Errorf("cvcp: %s with parameter %d: %w", alg.Name(), p, err)
+	err := runner.Grid(opt.engineOptions(), len(params), 1,
+		func(_ context.Context, pi, _ int) error {
+			labels, err := alg.Cluster(ds, full, params[pi], stats.SplitSeed(opt.Seed, pi+1))
+			if err != nil {
+				return fmt.Errorf("cvcp: %s with parameter %d: %w", alg.Name(), params[pi], err)
+			}
+			labelsPer[pi] = labels
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Selection, len(vis))
+	for vii, vi := range vis {
+		scores := make([]ParamScore, len(params))
+		bi := 0
+		for pi, p := range params {
+			scores[pi] = ParamScore{Param: p, Score: vi.Score(ds.X, labelsPer[pi])}
+			if pi > 0 && vi.Better(scores[pi].Score, scores[bi].Score) {
+				bi = pi
+			}
 		}
-		labelsPer[pi] = labels
-		scores[pi] = ParamScore{Param: p, Score: vi.Score(ds.X, labels)}
-		if pi > 0 && vi.Better(scores[pi].Score, scores[bi].Score) {
-			bi = pi
+		out[vii] = &Selection{
+			Algorithm:   alg.Name() + "+" + vi.Name,
+			Best:        scores[bi],
+			Scores:      scores,
+			FinalLabels: labelsPer[bi],
 		}
 	}
-	return &Selection{
-		Algorithm:   alg.Name() + "+" + vi.Name,
-		Best:        scores[bi],
-		Scores:      scores,
-		FinalLabels: labelsPer[bi],
-	}, nil
+	return out, nil
 }
 
 // BootstrapWithLabels scores one parameter by bootstrap resampling instead

@@ -1,0 +1,52 @@
+package cvcp
+
+import (
+	"cvcp/internal/cluster/optics"
+	"cvcp/internal/dataset"
+	"cvcp/internal/linalg"
+	"cvcp/internal/runner"
+)
+
+// The selection engine's grid tasks share expensive intermediates that
+// depend only on the dataset (and possibly one parameter), never on the
+// fold's constraints:
+//
+//   - the pairwise-distance matrix, reused by every OPTICS run over the
+//     dataset regardless of MinPts;
+//   - the OPTICS ordering per (dataset, MinPts), reused by every fold of
+//     that parameter and by the final clustering.
+//
+// runner.Cache provides the sharing: it is single-flight, so when the
+// engine schedules all folds of one MinPts concurrently, exactly one task
+// computes the ordering and the rest block on it instead of duplicating the
+// O(n²) work. The cache is process-wide and keyed by dataset identity
+// (pointer), retaining only a few recent datasets: experiment trials create
+// datasets in sequence and never revisit old ones.
+const cacheDatasets = 8
+
+var runCache = runner.NewCache(cacheDatasets)
+
+type distMatrixKey struct{}
+
+type opticsKey struct{ minPts int }
+
+// distMatrix returns the dataset's pairwise-distance matrix, computing it
+// at most once per cached dataset.
+func distMatrix(ds *dataset.Dataset) *linalg.DistMatrix {
+	v, _ := runCache.Do(ds, distMatrixKey{}, func() (any, error) {
+		return linalg.NewDistMatrix(ds.X), nil
+	})
+	return v.(*linalg.DistMatrix)
+}
+
+// opticsRun returns the dataset's OPTICS ordering for minPts, computing it
+// (on the shared distance matrix) at most once per cached dataset.
+func opticsRun(ds *dataset.Dataset, minPts int) (*optics.Result, error) {
+	v, err := runCache.Do(ds, opticsKey{minPts}, func() (any, error) {
+		return optics.RunWithMatrix(distMatrix(ds), minPts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*optics.Result), nil
+}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"cvcp/internal/constraints"
 	corecvcp "cvcp/internal/cvcp"
 	"cvcp/internal/eval"
+	"cvcp/internal/runner"
 	"cvcp/internal/stats"
 )
 
@@ -24,6 +26,13 @@ import (
 func leakageAblation(cfg Config, w io.Writer) error {
 	t := &table{header: []string{"Data set", "leaked rate", "fresh rate", "bias", "#leaked", "#fresh"}}
 	datasets := append(cfg.aloi()[:1], cfg.uci()...)
+	// Per-fold contribution to the satisfaction-rate accumulators; each
+	// engine task fills exactly one slot, and the slots are reduced in fold
+	// order afterwards so the totals are bit-identical to a serial loop.
+	type foldLeakage struct {
+		leakedSum, freshSum float64
+		leakedN, freshN     int
+	}
 	for di, ds := range datasets {
 		var leakedSum, freshSum float64
 		var leakedN, freshN int
@@ -34,33 +43,48 @@ func leakageAblation(cfg Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			for fi, f := range folds {
-				trainClosed, err := constraints.Closure(f.Train)
-				if err != nil {
-					continue // inconsistent naive training side
-				}
-				leaked := constraints.NewSet()
-				fresh := constraints.NewSet()
-				for _, c := range f.Test.Constraints() {
-					derivable := (c.MustLink && trainClosed.HasMustLink(c.A, c.B)) ||
-						(!c.MustLink && trainClosed.HasCannotLink(c.A, c.B))
-					if derivable {
-						leaked.AddConstraint(c)
-					} else {
-						fresh.AddConstraint(c)
+			per := make([]foldLeakage, len(folds))
+			err = runner.Grid(runner.Options{Workers: cfg.workers()}, len(folds), 1,
+				func(_ context.Context, fi, _ int) error {
+					f := folds[fi]
+					trainClosed, err := constraints.Closure(f.Train)
+					if err != nil {
+						return nil // inconsistent naive training side
 					}
-				}
-				if leaked.Len() == 0 || fresh.Len() == 0 {
-					continue
-				}
-				labels, err := corecvcp.FOSCOpticsDend{}.Cluster(ds, trainClosed, 6, int64(fi))
-				if err != nil {
-					return err
-				}
-				leakedSum += eval.SatisfactionRate(labels, leaked) * float64(leaked.Len())
-				freshSum += eval.SatisfactionRate(labels, fresh) * float64(fresh.Len())
-				leakedN += leaked.Len()
-				freshN += fresh.Len()
+					leaked := constraints.NewSet()
+					fresh := constraints.NewSet()
+					for _, c := range f.Test.Constraints() {
+						derivable := (c.MustLink && trainClosed.HasMustLink(c.A, c.B)) ||
+							(!c.MustLink && trainClosed.HasCannotLink(c.A, c.B))
+						if derivable {
+							leaked.AddConstraint(c)
+						} else {
+							fresh.AddConstraint(c)
+						}
+					}
+					if leaked.Len() == 0 || fresh.Len() == 0 {
+						return nil
+					}
+					labels, err := corecvcp.FOSCOpticsDend{}.Cluster(ds, trainClosed, 6, int64(fi))
+					if err != nil {
+						return err
+					}
+					per[fi] = foldLeakage{
+						leakedSum: eval.SatisfactionRate(labels, leaked) * float64(leaked.Len()),
+						freshSum:  eval.SatisfactionRate(labels, fresh) * float64(fresh.Len()),
+						leakedN:   leaked.Len(),
+						freshN:    fresh.Len(),
+					}
+					return nil
+				})
+			if err != nil {
+				return err
+			}
+			for _, s := range per {
+				leakedSum += s.leakedSum
+				freshSum += s.freshSum
+				leakedN += s.leakedN
+				freshN += s.freshN
 			}
 		}
 		if leakedN == 0 || freshN == 0 {
@@ -97,8 +121,11 @@ func validityAblation(cfg Config, w io.Writer) error {
 			full := constraints.FromLabels(labeled, ds.Y)
 			evalIdx := complement(ds.N(), labeled)
 			params := kRange(ds)
-			opt := corecvcp.Options{NFolds: cfg.NFolds, Seed: stats.SplitSeed(seed, 1)}
+			opt := corecvcp.Options{NFolds: cfg.NFolds, Seed: stats.SplitSeed(seed, 1), Workers: cfg.workers()}
 
+			// Both selections dispatch their parameter sweeps through the
+			// engine internally; the four validity indices additionally
+			// share one sweep, so each parameter clusters exactly once.
 			sel, err := corecvcp.SelectWithLabels(corecvcp.MPCKMeans{}, ds, labeled, params, opt)
 			if err != nil {
 				return err
@@ -109,13 +136,13 @@ func validityAblation(cfg Config, w io.Writer) error {
 			}
 			collectVals["CVCP"] = append(collectVals["CVCP"], eval.OverallF(labels, ds.Y, evalIdx))
 
-			for _, vi := range indices {
-				vsel, err := corecvcp.SelectByValidityIndex(corecvcp.MPCKMeans{}, ds, full, params, vi, opt)
-				if err != nil {
-					return err
-				}
+			vsels, err := corecvcp.SelectByValidityIndices(corecvcp.MPCKMeans{}, ds, full, params, indices, opt)
+			if err != nil {
+				return err
+			}
+			for vii, vi := range indices {
 				collectVals[vi.Name] = append(collectVals[vi.Name],
-					eval.OverallF(vsel.FinalLabels, ds.Y, evalIdx))
+					eval.OverallF(vsels[vii].FinalLabels, ds.Y, evalIdx))
 			}
 		}
 	}

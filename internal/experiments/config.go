@@ -14,6 +14,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"cvcp/internal/datagen"
 	"cvcp/internal/dataset"
@@ -26,7 +27,19 @@ type Config struct {
 	ALOITrials int   // trials per ALOI set (the collection already averages); paper effectively 1 per set per trial batch
 	NFolds     int   // cross-validation folds; paper: typically 10
 	Seed       int64 // master seed
-	Out        io.Writer
+	// Workers bounds the fold×parameter tasks each trial's selection
+	// engine runs concurrently. 0 means one worker per CPU; 1 forces
+	// serial execution. Results are bit-identical for every value.
+	Workers int
+	Out     io.Writer
+}
+
+// workers resolves Workers to an effective worker count.
+func (c Config) workers() int {
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // Default returns the configuration used for the recorded EXPERIMENTS.md

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cvcp/internal/constraints"
 	corecvcp "cvcp/internal/cvcp"
 	"cvcp/internal/dataset"
 	"cvcp/internal/eval"
+	"cvcp/internal/runner"
 	"cvcp/internal/stats"
 )
 
@@ -84,7 +86,7 @@ func runTrial(cfg Config, ds *dataset.Dataset, m method, sc scenario, frac float
 	var sel *corecvcp.Selection
 	var err error
 
-	opt := corecvcp.Options{NFolds: cfg.NFolds, Seed: stats.SplitSeed(seed, 1)}
+	opt := corecvcp.Options{NFolds: cfg.NFolds, Seed: stats.SplitSeed(seed, 1), Workers: cfg.workers()}
 	switch sc {
 	case scenarioLabels:
 		labeled := ds.SampleLabels(r, frac)
@@ -112,16 +114,26 @@ func runTrial(cfg Config, ds *dataset.Dataset, m method, sc scenario, frac float
 		External: make([]float64, len(params)),
 		Best:     sel.Best.Param,
 	}
+	// The external evaluation sweep — one full-supervision clustering per
+	// candidate parameter — is independent across parameters, so it
+	// dispatches through the same engine as the selection grid. Each task
+	// writes only its own slots and seeds derive from the parameter index,
+	// keeping the sweep bit-identical for every worker count.
 	sil := make([]float64, len(params))
-	for pi, p := range params {
-		labels, err := alg.Cluster(ds, full, p, stats.SplitSeed(seed, 100+pi))
-		if err != nil {
-			return trialResult{}, fmt.Errorf("experiments: %s param %d: %w", m, p, err)
-		}
-		res.External[pi] = eval.OverallF(labels, ds.Y, evalIdx)
-		if m == methodMPCK {
-			sil[pi] = eval.Silhouette(ds.X, labels)
-		}
+	err = runner.Grid(runner.Options{Workers: cfg.workers()}, len(params), 1,
+		func(_ context.Context, pi, _ int) error {
+			labels, err := alg.Cluster(ds, full, params[pi], stats.SplitSeed(seed, 100+pi))
+			if err != nil {
+				return fmt.Errorf("experiments: %s param %d: %w", m, params[pi], err)
+			}
+			res.External[pi] = eval.OverallF(labels, ds.Y, evalIdx)
+			if m == methodMPCK {
+				sil[pi] = eval.Silhouette(ds.X, labels)
+			}
+			return nil
+		})
+	if err != nil {
+		return trialResult{}, err
 	}
 	res.Corr = stats.Pearson(res.Internal, res.External)
 	res.Expected = stats.Mean(res.External)

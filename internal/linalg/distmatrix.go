@@ -1,0 +1,38 @@
+package linalg
+
+// DistMatrix is a precomputed symmetric pairwise Euclidean distance matrix,
+// stored as one flat row-major slice. Computing it costs the same O(n²·d)
+// work as one pass of OPTICS core-distance computation; every subsequent
+// consumer (each MinPts value of an OPTICS sweep, every fold of a
+// cross-validation grid, silhouette-style evaluation) replaces its distance
+// evaluations with O(1) lookups. Entries are produced by Dist, so consumers
+// observe bit-identical values to computing on demand.
+type DistMatrix struct {
+	n int
+	d []float64
+}
+
+// NewDistMatrix computes the pairwise distance matrix of the rows of x.
+func NewDistMatrix(x [][]float64) *DistMatrix {
+	n := len(x)
+	m := &DistMatrix{n: n, d: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		row := m.d[i*n : (i+1)*n]
+		for j := i + 1; j < n; j++ {
+			v := Dist(x[i], x[j])
+			row[j] = v
+			m.d[j*n+i] = v
+		}
+	}
+	return m
+}
+
+// N returns the number of objects.
+func (m *DistMatrix) N() int { return m.n }
+
+// At returns the distance between objects i and j.
+func (m *DistMatrix) At(i, j int) float64 { return m.d[i*m.n+j] }
+
+// Row returns the distances from object i to every object, as a shared
+// (read-only) slice of length N.
+func (m *DistMatrix) Row(i int) []float64 { return m.d[i*m.n : (i+1)*m.n] }
