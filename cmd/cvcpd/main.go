@@ -1,0 +1,95 @@
+// Command cvcpd serves CVCP model selection over HTTP: clients POST a CSV
+// dataset plus selection options, the server queues the job, runs its
+// fold×parameter grid on a bounded machine-wide worker budget through the
+// selection engine, and exposes status, results and a live progress stream.
+//
+//	cvcpd -addr :8080 -workers 8 -max-running 2
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit (CSV body + query options, multipart,
+//	                            or JSON with inline CSV)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        status, progress and result
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events progress as Server-Sent Events
+//	GET    /healthz             liveness
+//
+// On SIGTERM/SIGINT the server stops accepting jobs, gives running and
+// queued jobs -drain-timeout to finish, force-cancels whatever remains and
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cvcp/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "global worker budget: fold×parameter tasks executing at once across ALL jobs (0 = one per CPU)")
+		maxRunning   = flag.Int("max-running", 2, "jobs in the running state at once")
+		queueDepth   = flag.Int("queue", 64, "bounded FIFO queue depth; submissions beyond it are rejected")
+		retain       = flag.Int("retain", 64, "finished jobs kept in memory before oldest-first eviction")
+		maxBody      = flag.Int64("max-body", 32<<20, "request body size limit in bytes")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain waits for jobs before force-cancelling")
+	)
+	flag.Parse()
+
+	mgr := server.NewManager(server.Config{
+		QueueDepth:     *queueDepth,
+		MaxRunningJobs: *maxRunning,
+		WorkerBudget:   *workers,
+		RetainFinished: *retain,
+		MaxBodyBytes:   *maxBody,
+	})
+	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(mgr)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	cfg := mgr.Config()
+	fmt.Fprintf(os.Stderr, "cvcpd: listening on %s (workers=%d, max-running=%d, queue=%d)\n",
+		*addr, cfg.WorkerBudget, cfg.MaxRunningJobs, cfg.QueueDepth)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: reject new submissions, let accepted jobs finish (the
+	// manager force-cancels them when the drain deadline passes), then close
+	// the listener — by now every SSE stream has received its terminal event.
+	fmt.Fprintln(os.Stderr, "cvcpd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "cvcpd: drain deadline hit, jobs force-cancelled: %v\n", err)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		srv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "cvcpd: bye")
+}
+
+func fatal(err error) {
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "cvcpd:", err)
+		os.Exit(1)
+	}
+}

@@ -31,6 +31,7 @@ func main() {
 		folds    = flag.Int("folds", 0, "cross-validation folds (0 = default; paper uses 10)")
 		seed     = flag.Int64("seed", 0, "master seed (0 = default)")
 		workers  = flag.Int("workers", 0, "concurrent fold×parameter tasks per trial (0 = one per CPU, 1 = serial; output is identical either way)")
+		progress = flag.Bool("progress", false, "report engine grid progress on stderr")
 		paper    = flag.Bool("paper", false, "use full paper-scale settings (slow)")
 	)
 	flag.Parse()
@@ -62,6 +63,14 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	if *progress {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rexperiments: %d/%d grid tasks", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 
 	var runners []experiments.Runner
 	if *exp == "all" {

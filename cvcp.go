@@ -50,6 +50,7 @@ import (
 	corecvcp "cvcp/internal/cvcp"
 	"cvcp/internal/dataset"
 	"cvcp/internal/eval"
+	"cvcp/internal/runner"
 	"cvcp/internal/stats"
 )
 
@@ -69,6 +70,15 @@ type Algorithm = corecvcp.Algorithm
 
 // Options configures a model-selection run.
 type Options = corecvcp.Options
+
+// Limiter is a global execution budget shared by several selections: when
+// set on Options.Limiter, the total number of fold×parameter tasks running
+// across all selections holding the same Limiter never exceeds its
+// capacity. cmd/cvcpd uses one Limiter as its server-wide worker budget.
+type Limiter = runner.Limiter
+
+// NewLimiter returns a Limiter with n execution slots (minimum 1).
+func NewLimiter(n int) *Limiter { return runner.NewLimiter(n) }
 
 // Selection is the outcome of a model-selection run.
 type Selection = corecvcp.Selection
@@ -96,20 +106,11 @@ type AlgorithmSelection = corecvcp.AlgorithmSelection
 
 // DefaultMinPtsRange is the MinPts candidate range the paper uses for
 // FOSC-OPTICSDend: {3, 6, 9, 12, 15, 18, 21, 24}.
-var DefaultMinPtsRange = []int{3, 6, 9, 12, 15, 18, 21, 24}
+var DefaultMinPtsRange = corecvcp.DefaultMinPtsRange
 
 // KRange returns the candidate range {lo, ..., hi} for the number of
 // clusters. The paper uses 2..M with M a reasonable upper bound.
-func KRange(lo, hi int) []int {
-	if hi < lo {
-		return nil
-	}
-	out := make([]int, 0, hi-lo+1)
-	for k := lo; k <= hi; k++ {
-		out = append(out, k)
-	}
-	return out
-}
+func KRange(lo, hi int) []int { return corecvcp.KRange(lo, hi) }
 
 // NewDataset validates x (and y, if non-nil) and wraps them in a Dataset.
 func NewDataset(name string, x [][]float64, y []int) (*Dataset, error) {

@@ -8,6 +8,25 @@ import (
 	"cvcp/internal/dataset"
 )
 
+// DefaultMinPtsRange is the MinPts candidate range the paper uses for
+// FOSC-OPTICSDend: {3, 6, 9, 12, 15, 18, 21, 24}. It is the single source
+// of truth for every surface (root package, CLIs, the selection server), so
+// they cannot drift apart.
+var DefaultMinPtsRange = []int{3, 6, 9, 12, 15, 18, 21, 24}
+
+// KRange returns the candidate range {lo, ..., hi} for the number of
+// clusters. The paper uses 2..M with M a reasonable upper bound.
+func KRange(lo, hi int) []int {
+	if hi < lo {
+		return nil
+	}
+	out := make([]int, 0, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
 // FOSCOpticsDend is the density-based semi-supervised clustering method of
 // the paper's evaluation: an OPTICS reachability dendrogram from which FOSC
 // extracts the constraint-optimal flat clustering. The parameter under

@@ -58,6 +58,12 @@ type Options struct {
 	// each finished fold×parameter task with (done, total). Calls are
 	// serialized.
 	Progress func(done, total int)
+	// Limiter, when non-nil, draws every fold×parameter task's execution
+	// slot from a budget shared with other selections: the total number of
+	// tasks executing across all selections holding the same Limiter never
+	// exceeds its capacity. Multi-tenant callers (e.g. a selection server)
+	// use this to bound machine load globally instead of per selection.
+	Limiter *runner.Limiter
 	// Parallel evaluates the grid with one worker per CPU.
 	//
 	// Deprecated: set Workers instead; Parallel is kept so existing
@@ -86,7 +92,7 @@ func (o Options) workers() int {
 
 // engineOptions builds the runner configuration for this selection.
 func (o Options) engineOptions() runner.Options {
-	return runner.Options{Workers: o.workers(), Context: o.Context, OnProgress: o.Progress}
+	return runner.Options{Workers: o.workers(), Context: o.Context, OnProgress: o.Progress, Limiter: o.Limiter}
 }
 
 // ParamScore is the cross-validated quality of one candidate parameter.
@@ -229,13 +235,21 @@ func run(alg Algorithm, ds *dataset.Dataset, params []int, opt Options,
 			best = ps
 		}
 	}
-	if opt.Context != nil {
-		if err := opt.Context.Err(); err != nil {
-			return nil, err
-		}
-	}
-	finalLabels, err := alg.Cluster(ds, full, best.Param, stats.SplitSeed(opt.Seed, 0))
+	// The final clustering dispatches through the engine too, as a
+	// single-task run: it draws a slot from a shared Limiter (so a
+	// multi-selection server stays within its global budget during this
+	// phase) and observes cancellation like any grid task.
+	var finalLabels []int
+	err = runner.Run(runner.Options{Workers: 1, Context: opt.Context, Limiter: opt.Limiter},
+		[]runner.Task{func(context.Context) error {
+			var cerr error
+			finalLabels, cerr = alg.Cluster(ds, full, best.Param, stats.SplitSeed(opt.Seed, 0))
+			return cerr
+		}})
 	if err != nil {
+		if opt.Context != nil && opt.Context.Err() != nil {
+			return nil, opt.Context.Err()
+		}
 		return nil, fmt.Errorf("cvcp: final clustering: %w", err)
 	}
 	return &Selection{

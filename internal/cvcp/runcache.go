@@ -31,10 +31,12 @@ type distMatrixKey struct{}
 type opticsKey struct{ minPts int }
 
 // distMatrix returns the dataset's pairwise-distance matrix, computing it
-// at most once per cached dataset.
+// at most once per cached dataset. The condensed (triangular) layout halves
+// the resident memory per cached dataset; its entries are bit-identical to
+// the square layout's, so OPTICS runs are unaffected.
 func distMatrix(ds *dataset.Dataset) *linalg.DistMatrix {
 	v, _ := runCache.Do(ds, distMatrixKey{}, func() (any, error) {
-		return linalg.NewDistMatrix(ds.X), nil
+		return linalg.NewDistMatrixCondensed(ds.X), nil
 	})
 	return v.(*linalg.DistMatrix)
 }

@@ -89,6 +89,61 @@ func ReadCSV(name string, r io.Reader, hasLabel bool) (*Dataset, error) {
 	return New(name, x, y)
 }
 
+// SizeError reports that a CSV input exceeded the caller's byte limit.
+// Callers serving untrusted uploads (cmd/cvcpd) detect it with errors.As to
+// distinguish "too large" from "malformed".
+type SizeError struct {
+	Limit int64 // the byte limit that was exceeded
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("dataset: CSV input exceeds %d bytes", e.Limit)
+}
+
+// limitReader yields at most limit bytes from r; a read past the limit
+// fails with *SizeError. Unlike io.LimitReader it distinguishes an input
+// that ends exactly at the limit (fine) from one with more data (error).
+type limitReader struct {
+	r         io.Reader
+	remaining int64
+	limit     int64
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	if l.remaining <= 0 {
+		// The limit is spent: any further byte means the input is too
+		// large, clean EOF means it fit exactly.
+		var b [1]byte
+		for {
+			n, err := l.r.Read(b[:])
+			if n > 0 {
+				return 0, &SizeError{Limit: l.limit}
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	if int64(len(p)) > l.remaining {
+		p = p[:l.remaining]
+	}
+	n, err := l.r.Read(p)
+	l.remaining -= int64(n)
+	return n, err
+}
+
+// ReadCSVLimited is ReadCSV with a byte cap on the input: when r holds more
+// than maxBytes bytes the parse fails with a *SizeError (wrapped, so use
+// errors.As). maxBytes <= 0 means no limit. Servers use this so an
+// oversized upload fails fast with a typed error instead of exhausting
+// memory.
+func ReadCSVLimited(name string, r io.Reader, hasLabel bool, maxBytes int64) (*Dataset, error) {
+	if maxBytes <= 0 {
+		return ReadCSV(name, r, hasLabel)
+	}
+	return ReadCSV(name, &limitReader{r: r, remaining: maxBytes, limit: maxBytes}, hasLabel)
+}
+
 // LoadCSV reads a dataset from the named file.
 func LoadCSV(name, path string, hasLabel bool) (*Dataset, error) {
 	f, err := os.Open(path)

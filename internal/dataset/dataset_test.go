@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -166,5 +167,44 @@ func TestReadCSVUnlabeled(t *testing.T) {
 	}
 	if ds.N() != 2 || ds.Dims() != 2 {
 		t.Errorf("shape %dx%d", ds.N(), ds.Dims())
+	}
+}
+
+func TestReadCSVLimited(t *testing.T) {
+	csvData := "1.0,2.0,0\n3.0,4.0,1\n"
+
+	// Limit above the input size: parses normally.
+	ds, err := ReadCSVLimited("ok", strings.NewReader(csvData), true, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 {
+		t.Fatalf("N = %d, want 2", ds.N())
+	}
+
+	// Limit exactly the input size: still fine.
+	if _, err := ReadCSVLimited("exact", strings.NewReader(csvData), true, int64(len(csvData))); err != nil {
+		t.Fatalf("input at exactly the limit should parse, got %v", err)
+	}
+
+	// Limit below the input size: typed *SizeError, detectable via errors.As.
+	_, err = ReadCSVLimited("big", strings.NewReader(csvData), true, int64(len(csvData))-1)
+	var se *SizeError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SizeError, got %v", err)
+	}
+	if se.Limit != int64(len(csvData))-1 {
+		t.Fatalf("SizeError.Limit = %d, want %d", se.Limit, len(csvData)-1)
+	}
+
+	// Zero limit means unlimited.
+	if _, err := ReadCSVLimited("nolimit", strings.NewReader(csvData), true, 0); err != nil {
+		t.Fatalf("maxBytes <= 0 should be unlimited, got %v", err)
+	}
+
+	// Malformed CSV under the limit is a parse error, not a SizeError.
+	_, err = ReadCSVLimited("bad", strings.NewReader("not,a,number\n"), true, 1024)
+	if err == nil || errors.As(err, &se) {
+		t.Fatalf("want a parse error, got %v", err)
 	}
 }

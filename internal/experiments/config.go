@@ -31,7 +31,12 @@ type Config struct {
 	// engine runs concurrently. 0 means one worker per CPU; 1 forces
 	// serial execution. Results are bit-identical for every value.
 	Workers int
-	Out     io.Writer
+	// Progress, when non-nil, observes engine grid completion across every
+	// trial: it is called after each finished task with (done, total) for
+	// the grid currently executing (counts reset per grid). It must not
+	// derive results — cmd/experiments wires -progress to a stderr ticker.
+	Progress func(done, total int)
+	Out      io.Writer
 }
 
 // workers resolves Workers to an effective worker count.

@@ -86,7 +86,7 @@ func runTrial(cfg Config, ds *dataset.Dataset, m method, sc scenario, frac float
 	var sel *corecvcp.Selection
 	var err error
 
-	opt := corecvcp.Options{NFolds: cfg.NFolds, Seed: stats.SplitSeed(seed, 1), Workers: cfg.workers()}
+	opt := corecvcp.Options{NFolds: cfg.NFolds, Seed: stats.SplitSeed(seed, 1), Workers: cfg.workers(), Progress: cfg.Progress}
 	switch sc {
 	case scenarioLabels:
 		labeled := ds.SampleLabels(r, frac)
@@ -120,7 +120,7 @@ func runTrial(cfg Config, ds *dataset.Dataset, m method, sc scenario, frac float
 	// writes only its own slots and seeds derive from the parameter index,
 	// keeping the sweep bit-identical for every worker count.
 	sil := make([]float64, len(params))
-	err = runner.Grid(runner.Options{Workers: cfg.workers()}, len(params), 1,
+	err = runner.Grid(runner.Options{Workers: cfg.workers(), OnProgress: cfg.Progress}, len(params), 1,
 		func(_ context.Context, pi, _ int) error {
 			labels, err := alg.Cluster(ds, full, params[pi], stats.SplitSeed(seed, 100+pi))
 			if err != nil {

@@ -1,18 +1,32 @@
 package linalg
 
-// DistMatrix is a precomputed symmetric pairwise Euclidean distance matrix,
-// stored as one flat row-major slice. Computing it costs the same O(n²·d)
-// work as one pass of OPTICS core-distance computation; every subsequent
-// consumer (each MinPts value of an OPTICS sweep, every fold of a
-// cross-validation grid, silhouette-style evaluation) replaces its distance
-// evaluations with O(1) lookups. Entries are produced by Dist, so consumers
-// observe bit-identical values to computing on demand.
+// DistMatrix is a precomputed symmetric pairwise Euclidean distance matrix.
+// Computing it costs the same O(n²·d) work as one pass of OPTICS
+// core-distance computation; every subsequent consumer (each MinPts value of
+// an OPTICS sweep, every fold of a cross-validation grid, silhouette-style
+// evaluation) replaces its distance evaluations with O(1) lookups. Entries
+// are produced by Dist, so consumers observe bit-identical values to
+// computing on demand.
+//
+// Two storage layouts are supported:
+//
+//   - square: one flat row-major n×n slice. At is a single multiply-add
+//     index and Row returns a shared contiguous slice.
+//   - condensed: only the strict upper triangle, n·(n-1)/2 entries — half
+//     the memory of the square layout. The diagonal is implicit (zero) and
+//     At mirrors i>j lookups. This is the layout the per-run selection
+//     cache retains, since a resident matrix per cached dataset dominates
+//     the cache's footprint.
+//
+// Both layouts return identical values for every (i, j).
 type DistMatrix struct {
-	n int
-	d []float64
+	n         int
+	d         []float64
+	condensed bool
 }
 
-// NewDistMatrix computes the pairwise distance matrix of the rows of x.
+// NewDistMatrix computes the pairwise distance matrix of the rows of x in
+// the square layout.
 func NewDistMatrix(x [][]float64) *DistMatrix {
 	n := len(x)
 	m := &DistMatrix{n: n, d: make([]float64, n*n)}
@@ -27,12 +41,55 @@ func NewDistMatrix(x [][]float64) *DistMatrix {
 	return m
 }
 
+// NewDistMatrixCondensed computes the pairwise distance matrix of the rows
+// of x in the condensed (strict upper triangular) layout, storing
+// n·(n-1)/2 entries instead of n².
+func NewDistMatrixCondensed(x [][]float64) *DistMatrix {
+	n := len(x)
+	m := &DistMatrix{n: n, d: make([]float64, n*(n-1)/2), condensed: true}
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.d[k] = Dist(x[i], x[j])
+			k++
+		}
+	}
+	return m
+}
+
 // N returns the number of objects.
 func (m *DistMatrix) N() int { return m.n }
 
-// At returns the distance between objects i and j.
-func (m *DistMatrix) At(i, j int) float64 { return m.d[i*m.n+j] }
+// Condensed reports whether the matrix uses the triangular layout.
+func (m *DistMatrix) Condensed() bool { return m.condensed }
 
-// Row returns the distances from object i to every object, as a shared
-// (read-only) slice of length N.
-func (m *DistMatrix) Row(i int) []float64 { return m.d[i*m.n : (i+1)*m.n] }
+// At returns the distance between objects i and j.
+func (m *DistMatrix) At(i, j int) float64 {
+	if !m.condensed {
+		return m.d[i*m.n+j]
+	}
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	// Rows 0..i-1 of the strict upper triangle hold (n-1)+(n-2)+...+(n-i)
+	// entries; row i starts at that offset and holds columns i+1..n-1.
+	return m.d[i*(2*m.n-i-1)/2+(j-i-1)]
+}
+
+// Row returns the distances from object i to every object, as a slice of
+// length N. For the square layout it is a shared (read-only) view of the
+// backing array; for the condensed layout it is materialized into a fresh
+// slice.
+func (m *DistMatrix) Row(i int) []float64 {
+	if !m.condensed {
+		return m.d[i*m.n : (i+1)*m.n]
+	}
+	out := make([]float64, m.n)
+	for j := 0; j < m.n; j++ {
+		out[j] = m.At(i, j)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomRows(r *rand.Rand, n, d int) [][]float64 {
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = r.NormFloat64()
+		}
+	}
+	return x
+}
+
+// The condensed layout must return bit-identical entries to the square
+// layout for every (i, j), including the diagonal and mirrored lookups.
+func TestDistMatrixCondensedEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 17, 64} {
+		x := randomRows(r, n, 4)
+		sq := NewDistMatrix(x)
+		tr := NewDistMatrixCondensed(x)
+		if sq.N() != n || tr.N() != n {
+			t.Fatalf("n=%d: N() = %d (square), %d (condensed)", n, sq.N(), tr.N())
+		}
+		if sq.Condensed() || !tr.Condensed() {
+			t.Fatalf("n=%d: Condensed() flags wrong", n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if a, b := sq.At(i, j), tr.At(i, j); a != b {
+					t.Fatalf("n=%d: At(%d,%d) = %v (square) vs %v (condensed)", n, i, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDistMatrixCondensedRow(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	x := randomRows(r, 9, 3)
+	sq := NewDistMatrix(x)
+	tr := NewDistMatrixCondensed(x)
+	for i := 0; i < 9; i++ {
+		a, b := sq.Row(i), tr.Row(i)
+		if len(a) != len(b) {
+			t.Fatalf("Row(%d): length %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("Row(%d)[%d] = %v (square) vs %v (condensed)", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestDistMatrixCondensedHalvesStorage(t *testing.T) {
+	x := randomRows(rand.New(rand.NewSource(3)), 40, 2)
+	sq := NewDistMatrix(x)
+	tr := NewDistMatrixCondensed(x)
+	if got, want := len(tr.d), 40*39/2; got != want {
+		t.Fatalf("condensed backing slice has %d entries, want %d", got, want)
+	}
+	if len(sq.d) != 40*40 {
+		t.Fatalf("square backing slice has %d entries, want %d", len(sq.d), 40*40)
+	}
+}
+
+func TestDistMatrixProperties(t *testing.T) {
+	x := randomRows(rand.New(rand.NewSource(5)), 12, 6)
+	m := NewDistMatrixCondensed(x)
+	for i := 0; i < 12; i++ {
+		if m.At(i, i) != 0 {
+			t.Fatalf("At(%d,%d) = %v, want 0", i, i, m.At(i, i))
+		}
+		for j := i + 1; j < 12; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatalf("asymmetric: At(%d,%d)=%v At(%d,%d)=%v", i, j, m.At(i, j), j, i, m.At(j, i))
+			}
+			if m.At(i, j) != Dist(x[i], x[j]) {
+				t.Fatalf("At(%d,%d) disagrees with Dist", i, j)
+			}
+		}
+	}
+}

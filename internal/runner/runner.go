@@ -46,7 +46,48 @@ type Options struct {
 	// monotone in done, but their interleaving with still-running tasks is
 	// scheduling-dependent; do not derive results from it.
 	OnProgress func(done, total int)
+	// Limiter, when non-nil, is a global execution budget shared with other
+	// runs: every task acquires one slot before executing and releases it
+	// after, so the total number of tasks executing across all runs holding
+	// the same Limiter never exceeds its capacity. Workers still bounds this
+	// run's own concurrency; the Limiter bounds the sum.
+	Limiter *Limiter
 }
+
+// Limiter is a counting semaphore bounding how many tasks execute at once
+// across every engine run that shares it. A multi-tenant caller (e.g. a job
+// server running several selections concurrently) creates one Limiter with
+// its global worker budget and passes it to each run's Options; each run
+// then competes for slots task-by-task instead of multiplying worker pools.
+//
+// Slots are held only for the duration of a single task, never across
+// tasks, so runs sharing a Limiter cannot deadlock on it.
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter returns a Limiter with the given number of slots (minimum 1).
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{slots: make(chan struct{}, n)}
+}
+
+// Cap returns the number of slots.
+func (l *Limiter) Cap() int { return cap(l.slots) }
+
+// acquire blocks until a slot is free or ctx is done.
+func (l *Limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *Limiter) release() { <-l.slots }
 
 func (o Options) workers() int {
 	if o.Workers > 0 {
@@ -147,11 +188,23 @@ func Run(opt Options, tasks []Task) error {
 				if ctx.Err() != nil {
 					return
 				}
+				if opt.Limiter != nil {
+					if opt.Limiter.acquire(ctx) != nil {
+						return
+					}
+				}
 				i := claim()
 				if i < 0 {
+					if opt.Limiter != nil {
+						opt.Limiter.release()
+					}
 					return
 				}
-				finish(i, tasks[i](ctx))
+				err := tasks[i](ctx)
+				if opt.Limiter != nil {
+					opt.Limiter.release()
+				}
+				finish(i, err)
 			}
 		}()
 	}
@@ -184,7 +237,16 @@ func runSerial(ctx context.Context, opt Options, tasks []Task) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := t(ctx); err != nil {
+		if opt.Limiter != nil {
+			if err := opt.Limiter.acquire(ctx); err != nil {
+				return err
+			}
+		}
+		err := t(ctx)
+		if opt.Limiter != nil {
+			opt.Limiter.release()
+		}
+		if err != nil {
 			return err
 		}
 		if opt.OnProgress != nil {

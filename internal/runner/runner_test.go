@@ -299,3 +299,78 @@ func TestCacheFlush(t *testing.T) {
 		t.Fatalf("computed %d times, want 2 after flush", n)
 	}
 }
+
+// A shared Limiter must bound the number of tasks executing at once across
+// several concurrent Runs, while every task still completes.
+func TestLimiterBoundsConcurrencyAcrossRuns(t *testing.T) {
+	lim := NewLimiter(2)
+	if lim.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", lim.Cap())
+	}
+	var cur, peak, total atomic.Int64
+	task := func(context.Context) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		total.Add(1)
+		cur.Add(-1)
+		return nil
+	}
+	const runs, tasksPerRun = 3, 40
+	var wg sync.WaitGroup
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tasks := make([]Task, tasksPerRun)
+			for i := range tasks {
+				tasks[i] = task
+			}
+			if err := Run(Options{Workers: 8, Limiter: lim}, tasks); err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != runs*tasksPerRun {
+		t.Fatalf("executed %d tasks, want %d", got, runs*tasksPerRun)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds the budget of 2", p)
+	}
+}
+
+// The serial path must honor the Limiter too, and a cancelled context must
+// unblock a waiting acquire.
+func TestLimiterSerialAndCancel(t *testing.T) {
+	lim := NewLimiter(1)
+	ran := 0
+	err := Run(Options{Workers: 1, Limiter: lim}, []Task{
+		func(context.Context) error { ran++; return nil },
+		func(context.Context) error { ran++; return nil },
+	})
+	if err != nil || ran != 2 {
+		t.Fatalf("serial limited run: err=%v ran=%d", err, ran)
+	}
+
+	// Occupy the only slot, then start a run that must block acquiring it;
+	// cancelling the run's context has to release the workers.
+	if err := lim.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(Options{Workers: 2, Context: ctx, Limiter: lim},
+			[]Task{func(context.Context) error { return nil }})
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked run returned %v, want context.Canceled", err)
+	}
+	lim.release()
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// NewHandler returns the HTTP API over the manager.
+func NewHandler(m *Manager) http.Handler {
+	a := &api{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", a.submit)
+	mux.HandleFunc("GET /v1/jobs", a.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.get)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
+	mux.HandleFunc("GET /healthz", a.health)
+	return mux
+}
+
+type api struct {
+	m *Manager
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, map[string]*apiError{"error": e})
+}
+
+func (a *api) submit(w http.ResponseWriter, r *http.Request) {
+	maxBody := a.m.Config().MaxBodyBytes
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	spec, ds, apiErr := parseSubmission(r, maxBody)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	j, err := a.m.Submit(spec, ds)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, &apiError{status: http.StatusTooManyRequests, Code: "queue_full", Message: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, &apiError{status: http.StatusServiceUnavailable, Code: "draining", Message: err.Error()})
+		return
+	case err != nil:
+		writeError(w, &apiError{status: http.StatusInternalServerError, Code: "internal", Message: err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusAccepted, j.View())
+}
+
+func (a *api) list(w http.ResponseWriter, r *http.Request) {
+	jobs := a.m.List()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.View())
+	}
+	writeJSON(w, http.StatusOK, map[string][]JobView{"jobs": views})
+}
+
+func (a *api) get(w http.ResponseWriter, r *http.Request) {
+	j, err := a.m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusNotFound, Code: "not_found", Message: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (a *api) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	status, err := a.m.Cancel(id)
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusNotFound, Code: "not_found", Message: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": status})
+}
+
+func (a *api) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": a.m.Len()})
+}

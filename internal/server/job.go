@@ -1,0 +1,371 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cvcp/internal/constraints"
+	corecvcp "cvcp/internal/cvcp"
+	"cvcp/internal/dataset"
+	"cvcp/internal/runner"
+	"cvcp/internal/stats"
+)
+
+// Status is a job's lifecycle state. Transitions are
+// queued → running → done/failed/cancelled, with queued → cancelled for
+// jobs cancelled before an executor picks them up.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// ConstraintSpec is one pairwise constraint of a Scenario II job.
+type ConstraintSpec struct {
+	A, B     int
+	MustLink bool
+}
+
+// Spec is a validated job specification — everything a selection needs
+// except the dataset itself.
+type Spec struct {
+	Algorithm string
+	// Params is the candidate parameter range (never empty after
+	// validation; defaults come from the algorithm registry).
+	Params []int
+	// NFolds is the requested fold count; 0 lets the framework default
+	// (10, lowered automatically for small supervision).
+	NFolds int
+	Seed   int64
+	// Exactly one of LabelFraction / Constraints is set: LabelFraction > 0
+	// runs Scenario I (labels sampled from the dataset's label column with
+	// the job seed, exactly as cmd/cvcp does), a non-empty Constraints list
+	// runs Scenario II.
+	LabelFraction float64
+	Constraints   []ConstraintSpec
+}
+
+// Event is one entry of a job's progress stream. Status events mark
+// lifecycle transitions; progress events report grid completion and are
+// monotonically increasing in Done (the engine serializes its progress
+// callbacks).
+type Event struct {
+	Seq    int    `json:"seq"`
+	Type   string `json:"type"` // "status" or "progress"
+	Status Status `json:"status,omitempty"`
+	Done   int    `json:"done,omitempty"`
+	Total  int    `json:"total,omitempty"`
+}
+
+// subscriberBuffer is the channel capacity of one SSE subscriber. A
+// subscriber that falls this far behind loses intermediate events (the
+// stream stays monotone; only granularity suffers — the SSE handler
+// catches up from the replay log after the channel closes, so the
+// terminal status event is never lost).
+const subscriberBuffer = 256
+
+// Job is one selection job. All mutable state is guarded by mu; the
+// dataset and spec are immutable after submission.
+type Job struct {
+	id      string
+	spec    Spec
+	ds      *dataset.Dataset
+	created time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   Status
+	started  time.Time
+	finished time.Time
+	done     int
+	total    int
+	errMsg   string
+	sel      *corecvcp.Selection
+	seq      int
+	events   []Event
+	subs     map[chan Event]struct{}
+}
+
+func newJob(id string, spec Spec, ds *dataset.Dataset, parent context.Context) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	j := &Job{
+		id:      id,
+		spec:    spec,
+		ds:      ds,
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		status:  StatusQueued,
+		subs:    map[chan Event]struct{}{},
+	}
+	j.mu.Lock()
+	j.publishLocked(Event{Type: "status", Status: StatusQueued})
+	j.mu.Unlock()
+	return j
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// publishLocked appends an event to the replay log and fans it out to the
+// live subscribers. Callers hold mu. Slow subscribers (full buffers) skip
+// the event rather than blocking the engine.
+func (j *Job) publishLocked(ev Event) {
+	j.seq++
+	ev.Seq = j.seq
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeSubsLocked ends every live subscription; used after the terminal
+// event so SSE streams terminate. Callers hold mu.
+func (j *Job) closeSubsLocked() {
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
+// Subscribe returns a replay of all events published so far plus a channel
+// of future events. The channel is closed after the terminal event (or
+// immediately when the job already finished). The returned cancel function
+// releases the subscription; it is safe to call after the channel closed.
+func (j *Job) Subscribe() ([]Event, <-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay := append([]Event(nil), j.events...)
+	ch := make(chan Event, subscriberBuffer)
+	if j.status.Terminal() {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	cancel := func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+	return replay, ch, cancel
+}
+
+// EventsSince returns the events with Seq > seq, in order. SSE handlers use
+// it to catch up after a subscription channel closes: a slow subscriber may
+// have had buffered events dropped, and the terminal status event must
+// still reach it.
+func (j *Job) EventsSince(seq int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i := len(j.events)
+	for i > 0 && j.events[i-1].Seq > seq {
+		i--
+	}
+	return append([]Event(nil), j.events[i:]...)
+}
+
+// requestCancel cancels the job's context and, when the job has not started
+// yet, finalizes it as cancelled immediately. It returns the resulting
+// status and is idempotent.
+func (j *Job) requestCancel() Status {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusQueued {
+		j.status = StatusCancelled
+		j.finished = time.Now()
+		j.publishLocked(Event{Type: "status", Status: StatusCancelled})
+		j.closeSubsLocked()
+	}
+	return j.status
+}
+
+// claimRun transitions queued → running. It returns false when the job was
+// cancelled while queued, in which case the executor must skip it.
+func (j *Job) claimRun() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.publishLocked(Event{Type: "status", Status: StatusRunning})
+	return true
+}
+
+// onProgress is the engine progress hook; the engine serializes calls and
+// guarantees done is monotone, so the event stream is too.
+func (j *Job) onProgress(done, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusRunning {
+		return
+	}
+	j.done, j.total = done, total
+	j.publishLocked(Event{Type: "progress", Done: done, Total: total})
+}
+
+// finish records the selection outcome and publishes the terminal event.
+func (j *Job) finish(sel *corecvcp.Selection, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.sel = sel
+	case j.ctx.Err() != nil:
+		j.status = StatusCancelled
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	}
+	j.publishLocked(Event{Type: "status", Status: j.status})
+	j.closeSubsLocked()
+	// Release the cancelCtx registered on the manager's base context;
+	// without this every completed job would stay referenced by the parent
+	// context for the life of the process.
+	j.cancel()
+}
+
+// execute runs the selection. The caller (a Manager executor) has already
+// claimed the running state. workers bounds this job's own grid
+// concurrency; limiter is the server-wide budget shared across jobs.
+func (j *Job) execute(limiter *runner.Limiter, workers int) {
+	entry, ok := lookupAlgorithm(j.spec.Algorithm)
+	if !ok {
+		// Validated at submission; only a racing re-registration can
+		// remove it.
+		j.finish(nil, errUnknownAlgorithm(j.spec.Algorithm))
+		return
+	}
+	opt := corecvcp.Options{
+		NFolds:   j.spec.NFolds,
+		Seed:     j.spec.Seed,
+		Workers:  workers,
+		Context:  j.ctx,
+		Progress: j.onProgress,
+		Limiter:  limiter,
+	}
+	var sel *corecvcp.Selection
+	var err error
+	if len(j.spec.Constraints) > 0 {
+		cons := constraints.NewSet()
+		for _, c := range j.spec.Constraints {
+			cons.Add(c.A, c.B, c.MustLink)
+		}
+		sel, err = corecvcp.SelectWithConstraints(entry.alg, j.ds, cons, j.spec.Params, opt)
+	} else {
+		// Scenario I: sample the labeled objects exactly as cmd/cvcp does,
+		// so a job replays identically to the CLI with the same seed.
+		r := stats.NewRand(j.spec.Seed)
+		idx := j.ds.SampleLabels(r, j.spec.LabelFraction)
+		sel, err = corecvcp.SelectWithLabels(entry.alg, j.ds, idx, j.spec.Params, opt)
+	}
+	j.finish(sel, err)
+}
+
+// ScoreView is one candidate's cross-validated score in a job result.
+type ScoreView struct {
+	Param      int       `json:"param"`
+	Score      float64   `json:"score"`
+	FoldScores []float64 `json:"fold_scores"`
+}
+
+// ResultView is the JSON form of a finished job's selection.
+type ResultView struct {
+	Algorithm   string      `json:"algorithm"`
+	BestParam   int         `json:"best_param"`
+	BestScore   float64     `json:"best_score"`
+	Scores      []ScoreView `json:"scores"`
+	FinalLabels []int       `json:"final_labels"`
+}
+
+// JobView is the JSON form of a job's state.
+type JobView struct {
+	ID        string      `json:"id"`
+	Status    Status      `json:"status"`
+	Algorithm string      `json:"algorithm"`
+	Dataset   string      `json:"dataset"`
+	Objects   int         `json:"objects"`
+	Params    []int       `json:"params"`
+	Folds     int         `json:"folds"`
+	Seed      int64       `json:"seed"`
+	Created   time.Time   `json:"created"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+	Done      int         `json:"done"`
+	Total     int         `json:"total"`
+	Error     string      `json:"error,omitempty"`
+	Result    *ResultView `json:"result,omitempty"`
+}
+
+// View snapshots the job for JSON responses.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		Status:    j.status,
+		Algorithm: j.spec.Algorithm,
+		Dataset:   j.ds.Name,
+		Objects:   j.ds.N(),
+		Params:    j.spec.Params,
+		Folds:     j.spec.NFolds,
+		Seed:      j.spec.Seed,
+		Created:   j.created,
+		Done:      j.done,
+		Total:     j.total,
+		Error:     j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.sel != nil {
+		res := &ResultView{
+			Algorithm:   j.sel.Algorithm,
+			BestParam:   j.sel.Best.Param,
+			BestScore:   j.sel.Best.Score,
+			FinalLabels: j.sel.FinalLabels,
+		}
+		for _, ps := range j.sel.Scores {
+			res.Scores = append(res.Scores, ScoreView{Param: ps.Param, Score: ps.Score, FoldScores: ps.FoldScores})
+		}
+		v.Result = res
+	}
+	return v
+}

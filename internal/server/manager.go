@@ -1,0 +1,199 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"cvcp/internal/dataset"
+	"cvcp/internal/runner"
+)
+
+// Sentinel errors of the job manager; handlers map them to structured API
+// errors.
+var (
+	// ErrQueueFull rejects a submission when the bounded FIFO queue is at
+	// capacity.
+	ErrQueueFull = errors.New("server: job queue is full")
+	// ErrDraining rejects submissions after Shutdown began.
+	ErrDraining = errors.New("server: shutting down, not accepting jobs")
+	// ErrNotFound marks an unknown (or evicted) job id.
+	ErrNotFound = errors.New("server: no such job")
+)
+
+func errUnknownAlgorithm(name string) error {
+	return fmt.Errorf("server: unknown algorithm %q (have %s)", name, strings.Join(algorithmNames(), ", "))
+}
+
+// Manager owns the job queue, the executors and the in-memory job store.
+type Manager struct {
+	cfg     Config
+	limiter *runner.Limiter
+	queue   chan *Job
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	execWG     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	finished []string // finish order, for eviction
+	nextID   int
+	draining bool
+}
+
+// NewManager returns a Manager with its executors started.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		limiter:    runner.NewLimiter(cfg.WorkerBudget),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+	}
+	// The executors are the only goroutines the manager owns: a fixed pool
+	// started once, consuming the FIFO queue. All per-job clustering work
+	// dispatches through internal/runner under the shared Limiter.
+	for i := 0; i < cfg.MaxRunningJobs; i++ {
+		m.execWG.Add(1)
+		go m.executor()
+	}
+	return m
+}
+
+// Config returns the effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+func (m *Manager) executor() {
+	defer m.execWG.Done()
+	for j := range m.queue {
+		if j.claimRun() {
+			j.execute(m.limiter, m.cfg.WorkerBudget)
+		}
+		// Whether the job ran or was cancelled while queued, it is
+		// finished now: enter it into the eviction window.
+		m.retire(j)
+	}
+}
+
+// retire records a finished job and evicts the oldest finished jobs beyond
+// the retention window.
+func (m *Manager) retire(j *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished = append(m.finished, j.id)
+	for len(m.finished) > m.cfg.RetainFinished {
+		evict := m.finished[0]
+		m.finished = m.finished[1:]
+		delete(m.jobs, evict)
+		for i, id := range m.order {
+			if id == evict {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Submit validates nothing (the caller did) and enqueues a new job for ds
+// under spec. It fails with ErrDraining after Shutdown began and with
+// ErrQueueFull when the FIFO queue is at capacity. Note that a job
+// cancelled while queued keeps its queue slot until an executor pops and
+// skips it (a skip is instant — no clustering runs), so under sustained
+// load the queue can briefly report full while holding cancelled entries.
+func (m *Manager) Submit(spec Spec, ds *dataset.Dataset) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	m.nextID++
+	id := fmt.Sprintf("job-%06d", m.nextID)
+	j := newJob(id, spec, ds, m.baseCtx)
+	select {
+	case m.queue <- j:
+	default:
+		m.nextID--
+		j.cancel()
+		return nil, ErrQueueFull
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	return j, nil
+}
+
+// Get returns the job with the given id, or ErrNotFound (also for evicted
+// jobs).
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Len reports how many jobs are resident in the store.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.order)
+}
+
+// List returns every resident job in submission order.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels the job with the given id: a queued job becomes cancelled
+// immediately, a running job's context is cancelled and the job finishes as
+// cancelled once the engine stops. Cancelling a finished job is a no-op.
+// The returned status is the job's state after the request.
+func (m *Manager) Cancel(id string) (Status, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return "", err
+	}
+	return j.requestCancel(), nil
+}
+
+// Shutdown drains the manager: no new submissions are accepted, queued and
+// running jobs are given until ctx expires to finish, then all remaining
+// jobs are force-cancelled. It returns ctx.Err() when the drain deadline
+// was hit, nil on a clean drain. Shutdown is idempotent.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if !already {
+		close(m.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		m.execWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // force-cancel every job still executing or queued
+		<-done
+		return ctx.Err()
+	}
+}

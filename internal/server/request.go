@@ -1,0 +1,343 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cvcp/internal/dataset"
+)
+
+// apiError is the structured error body of every non-2xx response:
+// {"error":{"code":"...","message":"..."}}.
+type apiError struct {
+	status  int
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func badRequest(code, format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// jobRequest is the JSON submission document.
+type jobRequest struct {
+	Name          string           `json:"name"`
+	CSV           string           `json:"csv"`
+	HasLabel      bool             `json:"has_label"`
+	Algorithm     string           `json:"algorithm"`
+	Params        []int            `json:"params"`
+	ParamMin      int              `json:"param_min"`
+	ParamMax      int              `json:"param_max"`
+	Folds         int              `json:"folds"`
+	Seed          int64            `json:"seed"`
+	LabelFraction float64          `json:"label_fraction"`
+	Constraints   []constraintJSON `json:"constraints"`
+}
+
+type constraintJSON struct {
+	A    int    `json:"a"`
+	B    int    `json:"b"`
+	Link string `json:"link"` // "ml" (must-link) or "cl" (cannot-link)
+}
+
+// parseSubmission extracts a job spec and dataset from a POST /v1/jobs
+// request. Three request shapes are accepted:
+//
+//   - application/json: a jobRequest document with the CSV inline;
+//   - multipart/form-data: a "dataset" file part plus option form fields;
+//   - anything else (e.g. text/csv): the body is the CSV, options come
+//     from the URL query.
+//
+// maxBody also caps the CSV payload itself via dataset.ReadCSVLimited, so
+// an oversized upload is reported as too_large rather than a parse error.
+func parseSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset, *apiError) {
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, "application/json"):
+		return parseJSONSubmission(r, maxBody)
+	case strings.HasPrefix(ct, "multipart/form-data"):
+		return parseMultipartSubmission(r, maxBody)
+	default:
+		return parseRawSubmission(r, maxBody)
+	}
+}
+
+func parseJSONSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset, *apiError) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		if apiErr := asSizeError(err); apiErr != nil {
+			return Spec{}, nil, apiErr
+		}
+		return Spec{}, nil, badRequest("invalid_request", "malformed JSON body: %v", err)
+	}
+	if req.CSV == "" {
+		return Spec{}, nil, badRequest("invalid_request", `JSON submissions require a non-empty "csv" field`)
+	}
+	spec := Spec{
+		Algorithm:     req.Algorithm,
+		Params:        req.Params,
+		NFolds:        req.Folds,
+		Seed:          req.Seed,
+		LabelFraction: req.LabelFraction,
+	}
+	if len(spec.Params) == 0 && (req.ParamMin != 0 || req.ParamMax != 0) {
+		var apiErr *apiError
+		if spec.Params, apiErr = paramRange(req.ParamMin, req.ParamMax); apiErr != nil {
+			return Spec{}, nil, apiErr
+		}
+	}
+	for _, c := range req.Constraints {
+		cs, err := constraintFromKind(c.A, c.B, c.Link)
+		if err != nil {
+			return Spec{}, nil, badRequest("invalid_request", "constraints: %v", err)
+		}
+		spec.Constraints = append(spec.Constraints, cs)
+	}
+	ds, apiErr := parseCSV(req.Name, strings.NewReader(req.CSV), req.HasLabel, maxBody)
+	if apiErr != nil {
+		return Spec{}, nil, apiErr
+	}
+	return finishSpec(spec, ds)
+}
+
+func parseMultipartSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset, *apiError) {
+	if err := r.ParseMultipartForm(maxBody); err != nil {
+		if apiErr := asSizeError(err); apiErr != nil {
+			return Spec{}, nil, apiErr
+		}
+		return Spec{}, nil, badRequest("invalid_request", "malformed multipart body: %v", err)
+	}
+	file, _, err := r.FormFile("dataset")
+	if err != nil {
+		return Spec{}, nil, badRequest("invalid_request", `multipart submissions require a "dataset" file part: %v`, err)
+	}
+	defer file.Close()
+	spec, hasLabel, name, apiErr := parseOptions(r.FormValue)
+	if apiErr != nil {
+		return Spec{}, nil, apiErr
+	}
+	ds, apiErr := parseCSV(name, file, hasLabel, maxBody)
+	if apiErr != nil {
+		return Spec{}, nil, apiErr
+	}
+	return finishSpec(spec, ds)
+}
+
+func parseRawSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset, *apiError) {
+	q := r.URL.Query()
+	spec, hasLabel, name, apiErr := parseOptions(q.Get)
+	if apiErr != nil {
+		return Spec{}, nil, apiErr
+	}
+	ds, apiErr := parseCSV(name, r.Body, hasLabel, maxBody)
+	if apiErr != nil {
+		return Spec{}, nil, apiErr
+	}
+	return finishSpec(spec, ds)
+}
+
+// parseOptions reads the non-dataset job options through get (URL query for
+// raw submissions, form values for multipart ones).
+func parseOptions(get func(string) string) (spec Spec, hasLabel bool, name string, apiErr *apiError) {
+	name = get("name")
+	spec.Algorithm = get("algorithm")
+	intField := func(field string, dst *int) bool {
+		s := get(field)
+		if s == "" {
+			return true
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			apiErr = badRequest("invalid_request", "option %q: %v", field, err)
+			return false
+		}
+		*dst = v
+		return true
+	}
+	var pmin, pmax int
+	if !intField("folds", &spec.NFolds) || !intField("param_min", &pmin) || !intField("param_max", &pmax) {
+		return Spec{}, false, "", apiErr
+	}
+	if s := get("seed"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Spec{}, false, "", badRequest("invalid_request", "option %q: %v", "seed", err)
+		}
+		spec.Seed = v
+	}
+	if s := get("label_fraction"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Spec{}, false, "", badRequest("invalid_request", "option %q: %v", "label_fraction", err)
+		}
+		spec.LabelFraction = v
+	}
+	switch strings.ToLower(get("has_label")) {
+	case "", "0", "false", "no":
+	case "1", "true", "yes":
+		hasLabel = true
+	default:
+		return Spec{}, false, "", badRequest("invalid_request", "option %q: want a boolean", "has_label")
+	}
+	if s := get("params"); s != "" {
+		for _, part := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return Spec{}, false, "", badRequest("invalid_request", "option %q: %v", "params", err)
+			}
+			spec.Params = append(spec.Params, v)
+		}
+	} else if pmin != 0 || pmax != 0 {
+		if spec.Params, apiErr = paramRange(pmin, pmax); apiErr != nil {
+			return Spec{}, false, "", apiErr
+		}
+	}
+	if s := get("constraints"); s != "" {
+		cons, err := parseConstraintLines(s)
+		if err != nil {
+			return Spec{}, false, "", badRequest("invalid_request", "constraints: %v", err)
+		}
+		spec.Constraints = cons
+	}
+	return spec, hasLabel, name, nil
+}
+
+// parseConstraintLines parses the cmd/cvcp constraint-file format: one
+// constraint per line, "<a> <b> ml" or "<a> <b> cl" with zero-based object
+// indices; blank lines and '#' comments are ignored.
+func parseConstraintLines(text string) ([]ConstraintSpec, error) {
+	var out []ConstraintSpec
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var a, b int
+		var kind string
+		if _, err := fmt.Sscanf(line, "%d %d %s", &a, &b, &kind); err != nil {
+			return nil, fmt.Errorf("line %d: %q: %w", ln+1, line, err)
+		}
+		cs, err := constraintFromKind(a, b, kind)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+func constraintFromKind(a, b int, kind string) (ConstraintSpec, error) {
+	switch strings.ToLower(kind) {
+	case "ml", "must", "mustlink", "must-link":
+		return ConstraintSpec{A: a, B: b, MustLink: true}, nil
+	case "cl", "cannot", "cannotlink", "cannot-link":
+		return ConstraintSpec{A: a, B: b, MustLink: false}, nil
+	default:
+		return ConstraintSpec{}, fmt.Errorf("unknown constraint kind %q (want ml or cl)", kind)
+	}
+}
+
+// maxCandidates bounds the candidate parameter range of one job: each
+// candidate costs a full cross-validation, so a larger range is never a
+// legitimate request — and an unchecked param_min/param_max span would let
+// a tiny request allocate an enormous slice.
+const maxCandidates = 512
+
+func paramRange(lo, hi int) ([]int, *apiError) {
+	if hi < lo {
+		return nil, badRequest("invalid_request", "param_min %d exceeds param_max %d", lo, hi)
+	}
+	if hi-lo+1 > maxCandidates {
+		return nil, badRequest("invalid_request", "parameter range %d..%d has %d candidates, limit %d", lo, hi, hi-lo+1, maxCandidates)
+	}
+	out := make([]int, 0, hi-lo+1)
+	for p := lo; p <= hi; p++ {
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseCSV parses the dataset payload, mapping an oversized input to a
+// too_large error and any other failure to bad_csv.
+func parseCSV(name string, r io.Reader, hasLabel bool, maxBody int64) (*dataset.Dataset, *apiError) {
+	if name == "" {
+		name = "upload"
+	}
+	ds, err := dataset.ReadCSVLimited(name, r, hasLabel, maxBody)
+	if err != nil {
+		if apiErr := asSizeError(err); apiErr != nil {
+			return nil, apiErr
+		}
+		return nil, badRequest("bad_csv", "malformed CSV dataset: %v", err)
+	}
+	return ds, nil
+}
+
+// asSizeError maps body-limit violations (the HTTP server's MaxBytesReader
+// or the dataset reader's own cap) to a structured 413.
+func asSizeError(err error) *apiError {
+	var mbe *http.MaxBytesError
+	var se *dataset.SizeError
+	if errors.As(err, &mbe) || errors.As(err, &se) {
+		return &apiError{status: http.StatusRequestEntityTooLarge, Code: "too_large",
+			Message: "request body exceeds the server's size limit"}
+	}
+	return nil
+}
+
+// finishSpec applies registry defaults and validates the assembled spec
+// against the parsed dataset.
+func finishSpec(spec Spec, ds *dataset.Dataset) (Spec, *dataset.Dataset, *apiError) {
+	if spec.Algorithm == "" {
+		spec.Algorithm = "fosc"
+	}
+	entry, ok := lookupAlgorithm(spec.Algorithm)
+	if !ok {
+		return Spec{}, nil, badRequest("invalid_request", "%v", errUnknownAlgorithm(spec.Algorithm))
+	}
+	if len(spec.Params) == 0 {
+		spec.Params = append([]int(nil), entry.defaultParams...)
+	}
+	if len(spec.Params) > maxCandidates {
+		return Spec{}, nil, badRequest("invalid_request", "%d candidate parameters, limit %d", len(spec.Params), maxCandidates)
+	}
+	for _, p := range spec.Params {
+		if p < 1 {
+			return Spec{}, nil, badRequest("invalid_request", "candidate parameter %d: must be >= 1", p)
+		}
+	}
+	if spec.NFolds < 0 {
+		return Spec{}, nil, badRequest("invalid_request", "folds must be >= 0 (0 means the default)")
+	}
+	hasLabels := spec.LabelFraction != 0
+	hasCons := len(spec.Constraints) > 0
+	switch {
+	case hasLabels && hasCons:
+		return Spec{}, nil, badRequest("invalid_request", "label_fraction and constraints are mutually exclusive")
+	case !hasLabels && !hasCons:
+		return Spec{}, nil, badRequest("invalid_request", "supervision required: set label_fraction (Scenario I) or constraints (Scenario II)")
+	case hasLabels:
+		if spec.LabelFraction < 0 || spec.LabelFraction > 1 {
+			return Spec{}, nil, badRequest("invalid_request", "label_fraction %v: want a value in (0, 1]", spec.LabelFraction)
+		}
+		if !ds.Labeled() {
+			return Spec{}, nil, badRequest("invalid_request", "label_fraction requires a labeled dataset (set has_label)")
+		}
+	default:
+		for _, c := range spec.Constraints {
+			if c.A < 0 || c.A >= ds.N() || c.B < 0 || c.B >= ds.N() {
+				return Spec{}, nil, badRequest("invalid_request", "constraint (%d, %d): object index out of range [0, %d)", c.A, c.B, ds.N())
+			}
+			if c.A == c.B {
+				return Spec{}, nil, badRequest("invalid_request", "constraint (%d, %d): a pair needs two distinct objects", c.A, c.B)
+			}
+		}
+	}
+	return spec, ds, nil
+}

@@ -1,0 +1,65 @@
+// Package server is the CVCP selection service: a JSON HTTP API over an
+// asynchronous job manager that runs model selections through the
+// internal/runner engine.
+//
+// The API (cmd/cvcpd serves it):
+//
+//	POST   /v1/jobs             submit a selection job (CSV dataset in the
+//	                            request body, as a multipart upload, or
+//	                            inline in a JSON document)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status, progress and result
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events stream progress as Server-Sent Events
+//
+// Behind the API sits the Manager: a bounded FIFO queue feeding a fixed set
+// of job executors, with a global worker budget (a runner.Limiter) shared
+// by every running job's fold×parameter grid — the machine-wide concurrency
+// is bounded no matter how many jobs run at once, and all clustering work
+// dispatches through internal/runner rather than ad-hoc goroutines. Job
+// state lives in a capacity-bounded in-memory store: finished jobs beyond
+// the retention window are evicted oldest-first. Shutdown drains
+// gracefully: new submissions are rejected, queued and running jobs finish
+// (or are force-cancelled when the drain context expires).
+package server
+
+import "runtime"
+
+// Config sizes the Manager.
+type Config struct {
+	// QueueDepth bounds how many submitted jobs may wait for an executor;
+	// submissions beyond it fail with ErrQueueFull. 0 means 64.
+	QueueDepth int
+	// MaxRunningJobs is the number of job executors — how many selections
+	// may be in the running state at once. 0 means 2.
+	MaxRunningJobs int
+	// WorkerBudget is the global number of fold×parameter tasks executing
+	// at once across ALL running jobs (the capacity of the shared
+	// runner.Limiter). 0 means one per CPU.
+	WorkerBudget int
+	// RetainFinished bounds how many finished (done/failed/cancelled) jobs
+	// the store keeps; older finished jobs are evicted. 0 means 64.
+	RetainFinished int
+	// MaxBodyBytes caps the request body (and hence the CSV dataset) of a
+	// submission. 0 means 32 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxRunningJobs <= 0 {
+		c.MaxRunningJobs = 2
+	}
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = runtime.GOMAXPROCS(0)
+	}
+	if c.RetainFinished <= 0 {
+		c.RetainFinished = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}

@@ -1,0 +1,521 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	corecvcp "cvcp/internal/cvcp"
+	"cvcp/internal/stats"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(cfg)
+	ts := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	return ts, m
+}
+
+func decodeJob(t *testing.T, body io.Reader) JobView {
+	t.Helper()
+	var v JobView
+	if err := json.NewDecoder(body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func decodeAPIError(t *testing.T, resp *http.Response) apiError {
+	t.Helper()
+	defer resp.Body.Close()
+	var wrapper struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wrapper); err != nil {
+		t.Fatal(err)
+	}
+	return wrapper.Error
+}
+
+func pollJob(t *testing.T, ts *httptest.Server, id string, want Status) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last JobView
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = decodeJob(t, resp.Body)
+		resp.Body.Close()
+		if last.Status == want {
+			return last
+		}
+		if last.Status.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, last.Status, last.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck at %s, want %s", id, last.Status, want)
+	return last
+}
+
+// A raw-CSV submission must select exactly the parameter the library
+// selects for the same data, seed and options — the server adds queueing
+// and transport, never different math.
+func TestEndToEndMatchesDirectSelection(t *testing.T) {
+	ds, csvText := testDataset(t, 30)
+	ts, _ := newTestServer(t, Config{MaxRunningJobs: 1, WorkerBudget: 2})
+
+	url := ts.URL + "/v1/jobs?algorithm=fosc&params=3,6&folds=3&seed=11&label_fraction=0.5&has_label=true&name=test"
+	resp, err := http.Post(url, "text/csv", strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc == "" {
+		t.Fatal("submit: no Location header")
+	}
+	job := decodeJob(t, resp.Body)
+	resp.Body.Close()
+	if job.Status != StatusQueued && job.Status != StatusRunning && job.Status != StatusDone {
+		t.Fatalf("fresh job has status %s", job.Status)
+	}
+
+	final := pollJob(t, ts, job.ID, StatusDone)
+	if final.Result == nil {
+		t.Fatal("done job has no result")
+	}
+
+	// Replay the exact server-side procedure through the library.
+	r := stats.NewRand(11)
+	idx := ds.SampleLabels(r, 0.5)
+	sel, err := corecvcp.SelectWithLabels(corecvcp.FOSCOpticsDend{}, ds, idx, []int{3, 6},
+		corecvcp.Options{NFolds: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Result.BestParam != sel.Best.Param {
+		t.Fatalf("server selected %d, library selected %d", final.Result.BestParam, sel.Best.Param)
+	}
+	if final.Result.BestScore != sel.Best.Score {
+		t.Fatalf("server best score %v, library %v", final.Result.BestScore, sel.Best.Score)
+	}
+	if len(final.Result.FinalLabels) != ds.N() {
+		t.Fatalf("final labels: %d entries for %d objects", len(final.Result.FinalLabels), ds.N())
+	}
+	for i, l := range sel.FinalLabels {
+		if final.Result.FinalLabels[i] != l {
+			t.Fatalf("final label %d: server %d, library %d", i, final.Result.FinalLabels[i], l)
+		}
+	}
+}
+
+func TestSubmitJSONWithConstraints(t *testing.T) {
+	_, csvText := testDataset(t, 30)
+	ts, _ := newTestServer(t, Config{MaxRunningJobs: 1})
+
+	body, _ := json.Marshal(map[string]any{
+		"name": "consjob", "csv": csvText, "has_label": true,
+		"algorithm": "fosc", "params": []int{3, 6}, "folds": 2, "seed": 3,
+		"constraints": []map[string]any{
+			{"a": 0, "b": 2, "link": "ml"}, {"a": 4, "b": 6, "link": "ml"},
+			{"a": 8, "b": 10, "link": "ml"}, {"a": 0, "b": 1, "link": "cl"},
+			{"a": 2, "b": 3, "link": "cl"}, {"a": 4, "b": 5, "link": "cl"},
+			{"a": 6, "b": 9, "link": "cl"}, {"a": 1, "b": 3, "link": "ml"},
+			{"a": 5, "b": 7, "link": "ml"}, {"a": 8, "b": 12, "link": "ml"},
+		},
+	})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	job := decodeJob(t, resp.Body)
+	resp.Body.Close()
+	final := pollJob(t, ts, job.ID, StatusDone)
+	if final.Result == nil || final.Dataset != "consjob" {
+		t.Fatalf("unexpected final view: %+v", final)
+	}
+}
+
+func TestSubmitMultipart(t *testing.T) {
+	_, csvText := testDataset(t, 30)
+	ts, _ := newTestServer(t, Config{MaxRunningJobs: 1})
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, err := mw.CreateFormFile("dataset", "test.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(fw, csvText)
+	for k, v := range map[string]string{
+		"algorithm": "fosc", "params": "3,6", "folds": "2", "seed": "9",
+		"label_fraction": "0.5", "has_label": "true", "name": "multi",
+	} {
+		mw.WriteField(k, v)
+	}
+	mw.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	job := decodeJob(t, resp.Body)
+	resp.Body.Close()
+	if got := pollJob(t, ts, job.ID, StatusDone); got.Dataset != "multi" {
+		t.Fatalf("dataset name %q, want multi", got.Dataset)
+	}
+}
+
+func TestCancelRunningJobOverHTTP(t *testing.T) {
+	_, csvText := testDataset(t, 30)
+	alg := newBlockingAlg()
+	RegisterAlgorithm("block-http", alg, []int{1})
+	ts, _ := newTestServer(t, Config{MaxRunningJobs: 1, WorkerBudget: 1})
+
+	url := ts.URL + "/v1/jobs?algorithm=block-http&params=1&folds=2&seed=1&label_fraction=0.5&has_label=true"
+	resp, err := http.Post(url, "text/csv", strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := decodeJob(t, resp.Body)
+	resp.Body.Close()
+	<-alg.started
+	pollJob(t, ts, job.ID, StatusRunning)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+	close(alg.release)
+
+	final := pollJob(t, ts, job.ID, StatusCancelled)
+	if final.Result != nil {
+		t.Fatalf("cancelled job carries a result: %+v", final.Result)
+	}
+}
+
+// sseEvent is one parsed SSE message.
+type sseEvent struct {
+	id    int
+	event string
+	data  Event
+}
+
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			out = append(out, cur)
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &cur.id)
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+		}
+	}
+	return out
+}
+
+func TestSSEProgressOrdering(t *testing.T) {
+	_, csvText := testDataset(t, 30)
+	ts, _ := newTestServer(t, Config{MaxRunningJobs: 1, WorkerBudget: 4})
+
+	url := ts.URL + "/v1/jobs?algorithm=fosc&params=3,6,9&folds=3&seed=2&label_fraction=0.5&has_label=true"
+	resp, err := http.Post(url, "text/csv", strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := decodeJob(t, resp.Body)
+	resp.Body.Close()
+
+	// Subscribe immediately; the replay log guarantees the full history
+	// regardless of how far the job has progressed by now.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	events := readSSE(t, sresp.Body) // the stream ends at the terminal event
+
+	if len(events) < 3 {
+		t.Fatalf("only %d events", len(events))
+	}
+	if first := events[0]; first.event != "status" || first.data.Status != StatusQueued {
+		t.Fatalf("first event = %+v, want queued status", first)
+	}
+	last := events[len(events)-1]
+	if last.event != "status" || last.data.Status != StatusDone {
+		t.Fatalf("last event = %+v, want done status", last)
+	}
+	prevSeq, prevDone, progress := 0, 0, 0
+	for _, ev := range events {
+		if ev.id <= prevSeq {
+			t.Fatalf("sequence not increasing: %d after %d", ev.id, prevSeq)
+		}
+		prevSeq = ev.id
+		if ev.event == "progress" {
+			progress++
+			if ev.data.Done <= prevDone {
+				t.Fatalf("progress not monotone: done=%d after %d", ev.data.Done, prevDone)
+			}
+			prevDone = ev.data.Done
+			if ev.data.Total != 9 { // 3 params × 3 folds
+				t.Fatalf("progress total = %d, want 9", ev.data.Total)
+			}
+		}
+	}
+	if progress != 9 {
+		t.Fatalf("saw %d progress events, want 9", progress)
+	}
+	if prevDone != 9 {
+		t.Fatalf("final done = %d, want 9", prevDone)
+	}
+}
+
+func TestStructuredErrors(t *testing.T) {
+	_, csvText := testDataset(t, 30)
+	ts, _ := newTestServer(t, Config{MaxBodyBytes: 4096})
+
+	post := func(url, ct, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+url, ct, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Malformed CSV → 400 bad_csv.
+	resp := post("/v1/jobs?label_fraction=0.5&has_label=true", "text/csv", "not,a,number\n1,2\n")
+	if e := decodeAPIError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != "bad_csv" {
+		t.Fatalf("bad CSV: status %d code %q", resp.StatusCode, e.Code)
+	}
+
+	// Oversized body → 413 too_large.
+	big := strings.Repeat("1.0,2.0,0\n", 1000)
+	resp = post("/v1/jobs?label_fraction=0.5&has_label=true", "text/csv", big)
+	if e := decodeAPIError(t, resp); resp.StatusCode != http.StatusRequestEntityTooLarge || e.Code != "too_large" {
+		t.Fatalf("oversized: status %d code %q", resp.StatusCode, e.Code)
+	}
+
+	// Unknown algorithm → 400 invalid_request.
+	resp = post("/v1/jobs?algorithm=nope&label_fraction=0.5&has_label=true", "text/csv", csvText)
+	if e := decodeAPIError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != "invalid_request" {
+		t.Fatalf("unknown algorithm: status %d code %q", resp.StatusCode, e.Code)
+	}
+
+	// No supervision → 400 invalid_request.
+	resp = post("/v1/jobs?has_label=true", "text/csv", csvText)
+	if e := decodeAPIError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != "invalid_request" {
+		t.Fatalf("no supervision: status %d code %q", resp.StatusCode, e.Code)
+	}
+
+	// label_fraction without labels → 400 invalid_request.
+	resp = post("/v1/jobs?label_fraction=0.5", "text/csv", csvText)
+	if e := decodeAPIError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != "invalid_request" {
+		t.Fatalf("unlabeled scenario I: status %d code %q", resp.StatusCode, e.Code)
+	}
+
+	// Unknown job → 404 not_found.
+	gresp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := decodeAPIError(t, gresp); gresp.StatusCode != http.StatusNotFound || e.Code != "not_found" {
+		t.Fatalf("missing job: status %d code %q", gresp.StatusCode, e.Code)
+	}
+
+	// Malformed JSON → 400 invalid_request.
+	resp = post("/v1/jobs", "application/json", "{nope")
+	if e := decodeAPIError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != "invalid_request" {
+		t.Fatalf("bad JSON: status %d code %q", resp.StatusCode, e.Code)
+	}
+}
+
+func TestListAndEvictionOverHTTP(t *testing.T) {
+	_, csvText := testDataset(t, 30)
+	ts, _ := newTestServer(t, Config{MaxRunningJobs: 1, RetainFinished: 1})
+
+	submit := func(seed int) string {
+		t.Helper()
+		url := fmt.Sprintf("%s/v1/jobs?algorithm=fosc&params=3&folds=2&seed=%d&label_fraction=0.5&has_label=true", ts.URL, seed)
+		resp, err := http.Post(url, "text/csv", strings.NewReader(csvText))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		return decodeJob(t, resp.Body).ID
+	}
+
+	id1 := submit(1)
+	pollJob(t, ts, id1, StatusDone)
+	id2 := submit(2)
+	pollJob(t, ts, id2, StatusDone)
+
+	// RetainFinished == 1: job 1 is eventually evicted and GET turns 404.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never evicted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	lresp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var listing struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != id2 {
+		t.Fatalf("listing = %+v, want only %s", listing.Jobs, id2)
+	}
+}
+
+// TestConcurrentSubmissionHammer pounds the API from many goroutines;
+// meaningful under -race.
+func TestConcurrentSubmissionHammer(t *testing.T) {
+	_, csvText := testDataset(t, 24)
+	ts, _ := newTestServer(t, Config{MaxRunningJobs: 3, WorkerBudget: 4, QueueDepth: 128, RetainFinished: 256})
+
+	const submitters = 8
+	ids := make(chan string, submitters)
+	for g := 0; g < submitters; g++ {
+		go func(g int) {
+			url := fmt.Sprintf("%s/v1/jobs?algorithm=fosc&params=3,6&folds=2&seed=%d&label_fraction=0.5&has_label=true", ts.URL, g+1)
+			resp, err := http.Post(url, "text/csv", strings.NewReader(csvText))
+			if err != nil {
+				t.Error(err)
+				ids <- ""
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("submit: status %d", resp.StatusCode)
+				ids <- ""
+				return
+			}
+			job := decodeJob(t, resp.Body)
+			if g%3 == 0 {
+				// Race a cancel against the run; either outcome is legal.
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+				if dresp, err := http.DefaultClient.Do(req); err == nil {
+					dresp.Body.Close()
+				}
+			}
+			http.Get(ts.URL + "/v1/jobs")
+			ids <- job.ID
+		}(g)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for i := 0; i < submitters; i++ {
+		id := <-ids
+		if id == "" {
+			continue
+		}
+		for {
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := decodeJob(t, resp.Body)
+			resp.Body.Close()
+			if v.Status.Terminal() {
+				if v.Status == StatusFailed {
+					t.Fatalf("job %s failed: %s", id, v.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck at %s", id, v.Status)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// A huge param_min..param_max span must be rejected before any allocation,
+// not materialized into a giant candidate slice.
+func TestParamRangeBounded(t *testing.T) {
+	_, csvText := testDataset(t, 30)
+	ts, _ := newTestServer(t, Config{})
+
+	url := ts.URL + "/v1/jobs?algorithm=mpck&param_min=1&param_max=2000000000&label_fraction=0.5&has_label=true"
+	resp, err := http.Post(url, "text/csv", strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := decodeAPIError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != "invalid_request" {
+		t.Fatalf("huge range: status %d code %q", resp.StatusCode, e.Code)
+	}
+
+	// Inverted range is invalid_request too, not an empty-range fallback.
+	resp, err = http.Post(ts.URL+"/v1/jobs?algorithm=mpck&param_min=9&param_max=2&label_fraction=0.5&has_label=true",
+		"text/csv", strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := decodeAPIError(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != "invalid_request" {
+		t.Fatalf("inverted range: status %d code %q", resp.StatusCode, e.Code)
+	}
+}

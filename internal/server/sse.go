@@ -1,0 +1,73 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// events streams a job's progress as Server-Sent Events: every event
+// published so far is replayed first (so late subscribers see the full
+// history), then live events stream until the job reaches a terminal
+// status or the client disconnects. Each SSE message carries the event's
+// sequence number as its id, the event type ("status" or "progress") and
+// the Event JSON as data; progress events are monotonically increasing in
+// done.
+func (a *api) events(w http.ResponseWriter, r *http.Request) {
+	j, err := a.m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusNotFound, Code: "not_found", Message: err.Error()})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &apiError{status: http.StatusInternalServerError, Code: "internal",
+			Message: "streaming unsupported by this connection"})
+		return
+	}
+
+	replay, ch, cancel := j.Subscribe()
+	defer cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	lastSeq := 0
+	for _, ev := range replay {
+		writeEvent(w, ev)
+		lastSeq = ev.Seq
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				// The job is terminal. A slow subscriber may have had
+				// events dropped from its buffer — catch up from the
+				// replay log so the terminal status event always lands.
+				for _, missed := range j.EventsSince(lastSeq) {
+					writeEvent(w, missed)
+				}
+				fl.Flush()
+				return
+			}
+			writeEvent(w, ev)
+			lastSeq = ev.Seq
+			fl.Flush()
+		}
+	}
+}
+
+func writeEvent(w io.Writer, ev Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+}
