@@ -3,21 +3,28 @@
 // fold×parameter grid on a bounded machine-wide worker budget through the
 // selection engine, and exposes status, results and a live progress stream.
 //
-//	cvcpd -addr :8080 -workers 8 -max-running 2
+//	cvcpd -addr :8080 -workers 8 -max-running 2 -store-dir /var/lib/cvcpd
 //
-// Endpoints:
+// Endpoints (docs/api.md is the full reference):
 //
 //	POST   /v1/jobs             submit (CSV body + query options, multipart,
 //	                            or JSON with inline CSV)
-//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs             list jobs, cursor-paginated (?limit=&cursor=)
 //	GET    /v1/jobs/{id}        status, progress and result
-//	DELETE /v1/jobs/{id}        cancel
+//	DELETE /v1/jobs/{id}        cancel (a queued job leaves the queue at once)
 //	GET    /v1/jobs/{id}/events progress as Server-Sent Events
+//	POST   /v1/batches          submit N datasets sharing one option set
+//	GET    /v1/batches/{id}     aggregate per-item batch status
 //	GET    /healthz             liveness
 //
+// With -store-dir the job store is durable: every job transition is
+// appended to a write-ahead log in that directory, and a restarted server
+// lists the finished jobs and re-queues (and deterministically re-runs)
+// whatever was interrupted. Without it, jobs live in memory only.
+//
 // On SIGTERM/SIGINT the server stops accepting jobs, gives running and
-// queued jobs -drain-timeout to finish, force-cancels whatever remains and
-// exits.
+// queued jobs -drain-timeout to finish, force-cancels whatever remains,
+// compacts the store and exits.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"cvcp/internal/server"
+	"cvcp/internal/store"
 )
 
 func main() {
@@ -40,19 +48,33 @@ func main() {
 		workers      = flag.Int("workers", 0, "global worker budget: fold×parameter tasks executing at once across ALL jobs (0 = one per CPU)")
 		maxRunning   = flag.Int("max-running", 2, "jobs in the running state at once")
 		queueDepth   = flag.Int("queue", 64, "bounded FIFO queue depth; submissions beyond it are rejected")
-		retain       = flag.Int("retain", 64, "finished jobs kept in memory before oldest-first eviction")
+		retain       = flag.Int("retain", 64, "finished jobs kept before oldest-first eviction")
 		maxBody      = flag.Int64("max-body", 32<<20, "request body size limit in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain waits for jobs before force-cancelling")
+		storeDir     = flag.String("store-dir", "", "directory for the durable job store (empty = in-memory, lost on exit)")
 	)
 	flag.Parse()
 
-	mgr := server.NewManager(server.Config{
+	cfg := server.Config{
 		QueueDepth:     *queueDepth,
 		MaxRunningJobs: *maxRunning,
 		WorkerBudget:   *workers,
 		RetainFinished: *retain,
 		MaxBodyBytes:   *maxBody,
-	})
+	}
+	var fileStore *store.File
+	if *storeDir != "" {
+		var err error
+		if fileStore, err = store.Open(*storeDir); err != nil {
+			fatal(err)
+		}
+		if n, err := fileStore.Len(); err == nil && n > 0 {
+			fmt.Fprintf(os.Stderr, "cvcpd: replaying %d record(s) from %s\n", n, *storeDir)
+		}
+		cfg.Store = fileStore
+	}
+
+	mgr := server.NewManager(cfg)
 	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(mgr)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,9 +82,9 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	cfg := mgr.Config()
+	ecfg := mgr.Config()
 	fmt.Fprintf(os.Stderr, "cvcpd: listening on %s (workers=%d, max-running=%d, queue=%d)\n",
-		*addr, cfg.WorkerBudget, cfg.MaxRunningJobs, cfg.QueueDepth)
+		*addr, ecfg.WorkerBudget, ecfg.MaxRunningJobs, ecfg.QueueDepth)
 
 	select {
 	case err := <-errCh:
@@ -83,6 +105,13 @@ func main() {
 	defer cancelHTTP()
 	if err := srv.Shutdown(httpCtx); err != nil {
 		srv.Close()
+	}
+	// Compact the final job states into the snapshot after the drain, so
+	// the next start replays a clean store.
+	if fileStore != nil {
+		if err := fileStore.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cvcpd: closing job store: %v\n", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "cvcpd: bye")
 }

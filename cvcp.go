@@ -32,14 +32,28 @@
 // # Concurrency
 //
 // The cross-validation grid — every (candidate parameter, fold) pair — is
-// scheduled onto a bounded worker pool. Options.Workers bounds the
-// concurrency (0 = serial, -1 = one worker per CPU), Options.Context
-// cancels a selection mid-grid, and Options.Progress observes completion.
-// Selections are bit-identical for every worker count: per-task seeds
-// derive from grid position, never from scheduling order. Expensive
-// intermediates that depend only on the dataset (pairwise distances, OPTICS
-// orderings per MinPts) are shared across folds, parameters and the final
-// clustering through a single-flight cache.
+// scheduled onto a bounded worker pool, controlled by four Options fields:
+//
+//   - Workers bounds this selection's concurrency (0 = serial, -1 = one
+//     worker per CPU, any positive value an explicit bound);
+//   - Context cancels a selection mid-grid (the selection returns the
+//     context's error);
+//   - Progress observes completion: it is called after every finished
+//     fold×parameter task with (done, total), serialized and monotone;
+//   - Limiter, when non-nil, draws every task's execution slot from a
+//     budget shared with other selections — multi-tenant callers (e.g.
+//     the cvcpd server) bound machine-wide load with one Limiter while
+//     Workers still bounds each selection.
+//
+// # Determinism
+//
+// Selections are bit-identical for every Workers value and Limiter
+// budget: per-task seeds derive from grid position, never from scheduling
+// order, every task writes only its own result slot, and error reporting
+// picks the lowest-indexed failure. Expensive intermediates that depend
+// only on the dataset (pairwise distances, OPTICS orderings per MinPts)
+// are shared across folds, parameters and the final clustering through a
+// single-flight cache, which changes cost, never results.
 package cvcp
 
 import (

@@ -1,0 +1,142 @@
+package cvcp
+
+// Documentation reference check: README.md and docs/*.md must not name a
+// file, directory or command-line flag that does not exist. CI runs this
+// as its docs-link gate (and it runs with every `go test ./...`), so docs
+// rot — a renamed flag, a moved file, a dead relative link — fails the
+// build instead of misleading readers.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	// [text](target) markdown links; targets that are URLs or pure
+	// anchors are skipped.
+	mdLinkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	// `inline code` spans on fence-stripped text.
+	inlineCodeRE = regexp.MustCompile("`([^`\n]+)`")
+	// A command-line flag token inside an inline code span.
+	flagTokenRE = regexp.MustCompile(`^-[a-z][a-z0-9-]*$`)
+	// A repo path token inside an inline code span.
+	pathTokenRE = regexp.MustCompile(`^(cmd|internal|docs|examples)(/[A-Za-z0-9_.*-]+)*/?$`)
+	// flag declarations in cmd/*/main.go.
+	flagDeclRE = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)\("([a-z0-9-]+)"`)
+)
+
+// goToolFlags are flags of the go tool itself that the docs may mention
+// in test/bench invocations; they are not declared by any command here.
+var goToolFlags = map[string]bool{
+	"race": true, "bench": true, "run": true, "count": true,
+	"v": true, "cover": true,
+}
+
+// declaredFlags collects every flag name defined by the repo's commands.
+func declaredFlags(t *testing.T) map[string]bool {
+	t.Helper()
+	mains, err := filepath.Glob("cmd/*/main.go")
+	if err != nil || len(mains) == 0 {
+		t.Fatalf("no cmd/*/main.go found: %v", err)
+	}
+	flags := map[string]bool{}
+	for _, path := range mains {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range flagDeclRE.FindAllStringSubmatch(string(src), -1) {
+			flags[m[1]] = true
+		}
+	}
+	return flags
+}
+
+// stripFences removes ``` fenced code blocks: shell transcripts and
+// diagrams are illustrative, while inline code and links are the load-
+// bearing references this test verifies.
+func stripFences(text string) string {
+	var out []string
+	fenced := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if !fenced {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("docs/ holds no markdown files")
+	}
+	return append(files, docs...)
+}
+
+func TestDocsReferences(t *testing.T) {
+	flags := declaredFlags(t)
+	for _, file := range docFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := stripFences(string(raw))
+
+		// Relative markdown links must point at existing files. Links are
+		// resolved from the linking file's directory.
+		for _, m := range mdLinkRE.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not exist", file, target)
+			}
+		}
+
+		// Inline code spans: flag tokens must be declared by some command
+		// (or belong to the go tool), path tokens must exist on disk.
+		for _, m := range inlineCodeRE.FindAllStringSubmatch(text, -1) {
+			for _, tok := range strings.Fields(m[1]) {
+				tok = strings.Trim(tok, "[](),;:")
+				switch {
+				case flagTokenRE.MatchString(tok):
+					name := strings.TrimPrefix(tok, "-")
+					if !flags[name] && !goToolFlags[name] {
+						t.Errorf("%s mentions flag %q, declared by no command in cmd/", file, tok)
+					}
+				case pathTokenRE.MatchString(tok):
+					probe := strings.TrimSuffix(tok, "/")
+					if i := strings.IndexByte(probe, '*'); i >= 0 {
+						probe = strings.TrimSuffix(probe[:i], "/") // check the globbed parent
+					}
+					if _, err := os.Stat(probe); err != nil {
+						// Qualified names like internal/store.Store refer to
+						// the package directory; retry without the symbol.
+						if i := strings.LastIndexByte(probe, '.'); i >= 0 {
+							if _, err := os.Stat(probe[:i]); err == nil {
+								continue
+							}
+						}
+						t.Errorf("%s mentions path %q, which does not exist", file, tok)
+					}
+				}
+			}
+		}
+	}
+}

@@ -23,7 +23,7 @@ type Cache struct {
 	maxOwners int
 
 	mu      sync.Mutex
-	order   []any               // insertion order of owners, for eviction
+	order   []any // insertion order of owners, for eviction
 	entries map[any]map[any]*cacheEntry
 }
 

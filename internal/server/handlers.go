@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // NewHandler returns the HTTP API over the manager.
@@ -15,6 +16,8 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", a.get)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
+	mux.HandleFunc("POST /v1/batches", a.submitBatch)
+	mux.HandleFunc("GET /v1/batches/{id}", a.getBatch)
 	mux.HandleFunc("GET /healthz", a.health)
 	return mux
 }
@@ -59,13 +62,31 @@ func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.View())
 }
 
+// jobListResponse is the GET /v1/jobs body. NextCursor, when non-empty,
+// is passed back as ?cursor= to fetch the next page; its absence means the
+// listing is exhausted.
+type jobListResponse struct {
+	Jobs       []JobView `json:"jobs"`
+	NextCursor string    `json:"next_cursor,omitempty"`
+}
+
 func (a *api) list(w http.ResponseWriter, r *http.Request) {
-	jobs := a.m.List()
-	views := make([]JobView, 0, len(jobs))
-	for _, j := range jobs {
-		views = append(views, j.View())
+	q := r.URL.Query()
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeError(w, badRequest("invalid_request", "option %q: want a non-negative integer", "limit"))
+			return
+		}
+		limit = v
 	}
-	writeJSON(w, http.StatusOK, map[string][]JobView{"jobs": views})
+	views, next, err := a.m.ListPage(q.Get("cursor"), limit)
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusInternalServerError, Code: "internal", Message: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, jobListResponse{Jobs: views, NextCursor: next})
 }
 
 func (a *api) get(w http.ResponseWriter, r *http.Request) {

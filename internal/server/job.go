@@ -30,29 +30,33 @@ func (s Status) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCancelled
 }
 
-// ConstraintSpec is one pairwise constraint of a Scenario II job.
+// ConstraintSpec is one pairwise constraint of a Scenario II job. The
+// JSON tags fix the persisted form the job store replays after a restart.
 type ConstraintSpec struct {
-	A, B     int
-	MustLink bool
+	A        int  `json:"a"`
+	B        int  `json:"b"`
+	MustLink bool `json:"must_link"`
 }
 
 // Spec is a validated job specification — everything a selection needs
-// except the dataset itself.
+// except the dataset itself. It is immutable after submission and is
+// persisted verbatim (JSON) into the job store, so a re-queued job re-runs
+// with exactly the options it was submitted with.
 type Spec struct {
-	Algorithm string
+	Algorithm string `json:"algorithm"`
 	// Params is the candidate parameter range (never empty after
 	// validation; defaults come from the algorithm registry).
-	Params []int
+	Params []int `json:"params"`
 	// NFolds is the requested fold count; 0 lets the framework default
 	// (10, lowered automatically for small supervision).
-	NFolds int
-	Seed   int64
+	NFolds int   `json:"folds"`
+	Seed   int64 `json:"seed"`
 	// Exactly one of LabelFraction / Constraints is set: LabelFraction > 0
 	// runs Scenario I (labels sampled from the dataset's label column with
 	// the job seed, exactly as cmd/cvcp does), a non-empty Constraints list
 	// runs Scenario II.
-	LabelFraction float64
-	Constraints   []ConstraintSpec
+	LabelFraction float64          `json:"label_fraction,omitempty"`
+	Constraints   []ConstraintSpec `json:"constraints,omitempty"`
 }
 
 // Event is one entry of a job's progress stream. Status events mark
@@ -75,11 +79,17 @@ type Event struct {
 const subscriberBuffer = 256
 
 // Job is one selection job. All mutable state is guarded by mu; the
-// dataset and spec are immutable after submission.
+// dataset and spec are immutable after submission. ds is nil for terminal
+// jobs resurrected from the store (their records drop the dataset
+// payload); dsName and objects carry the dataset identity independently.
 type Job struct {
 	id      string
+	batch   string // owning batch ID, empty for individual submissions
 	spec    Spec
 	ds      *dataset.Dataset
+	dsBlob  []byte // serialized dataset payload for non-terminal records
+	dsName  string
+	objects int
 	created time.Time
 
 	ctx    context.Context
@@ -92,18 +102,25 @@ type Job struct {
 	done     int
 	total    int
 	errMsg   string
-	sel      *corecvcp.Selection
+	result   *ResultView
 	seq      int
 	events   []Event
 	subs     map[chan Event]struct{}
 }
 
-func newJob(id string, spec Spec, ds *dataset.Dataset, parent context.Context) *Job {
+// newJob builds a queued job. dsBlob is the pre-serialized dataset
+// payload for persistence — callers build it once, outside the manager
+// lock (marshalDataset), or reuse the payload of a replayed record.
+func newJob(id, batch string, spec Spec, ds *dataset.Dataset, dsBlob []byte, parent context.Context) *Job {
 	ctx, cancel := context.WithCancel(parent)
 	j := &Job{
 		id:      id,
+		batch:   batch,
 		spec:    spec,
 		ds:      ds,
+		dsBlob:  dsBlob,
+		dsName:  ds.Name,
+		objects: ds.N(),
 		created: time.Now(),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -118,6 +135,9 @@ func newJob(id string, spec Spec, ds *dataset.Dataset, parent context.Context) *
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// Batch returns the owning batch ID ("" for individual submissions).
+func (j *Job) Batch() string { return j.batch }
 
 // Status returns the job's current lifecycle state.
 func (j *Job) Status() Status {
@@ -242,7 +262,7 @@ func (j *Job) finish(sel *corecvcp.Selection, err error) {
 	switch {
 	case err == nil:
 		j.status = StatusDone
-		j.sel = sel
+		j.result = resultView(sel)
 	case j.ctx.Err() != nil:
 		j.status = StatusCancelled
 	default:
@@ -301,7 +321,8 @@ type ScoreView struct {
 	FoldScores []float64 `json:"fold_scores"`
 }
 
-// ResultView is the JSON form of a finished job's selection.
+// ResultView is the JSON form of a finished job's selection. It is also
+// the persisted result format in the job store.
 type ResultView struct {
 	Algorithm   string      `json:"algorithm"`
 	BestParam   int         `json:"best_param"`
@@ -310,9 +331,27 @@ type ResultView struct {
 	FinalLabels []int       `json:"final_labels"`
 }
 
+// resultView converts a library selection into its JSON/persisted form.
+func resultView(sel *corecvcp.Selection) *ResultView {
+	if sel == nil {
+		return nil
+	}
+	res := &ResultView{
+		Algorithm:   sel.Algorithm,
+		BestParam:   sel.Best.Param,
+		BestScore:   sel.Best.Score,
+		FinalLabels: sel.FinalLabels,
+	}
+	for _, ps := range sel.Scores {
+		res.Scores = append(res.Scores, ScoreView{Param: ps.Param, Score: ps.Score, FoldScores: ps.FoldScores})
+	}
+	return res
+}
+
 // JobView is the JSON form of a job's state.
 type JobView struct {
 	ID        string      `json:"id"`
+	Batch     string      `json:"batch,omitempty"`
 	Status    Status      `json:"status"`
 	Algorithm string      `json:"algorithm"`
 	Dataset   string      `json:"dataset"`
@@ -335,10 +374,11 @@ func (j *Job) View() JobView {
 	defer j.mu.Unlock()
 	v := JobView{
 		ID:        j.id,
+		Batch:     j.batch,
 		Status:    j.status,
 		Algorithm: j.spec.Algorithm,
-		Dataset:   j.ds.Name,
-		Objects:   j.ds.N(),
+		Dataset:   j.dsName,
+		Objects:   j.objects,
 		Params:    j.spec.Params,
 		Folds:     j.spec.NFolds,
 		Seed:      j.spec.Seed,
@@ -355,17 +395,6 @@ func (j *Job) View() JobView {
 		t := j.finished
 		v.Finished = &t
 	}
-	if j.sel != nil {
-		res := &ResultView{
-			Algorithm:   j.sel.Algorithm,
-			BestParam:   j.sel.Best.Param,
-			BestScore:   j.sel.Best.Score,
-			FinalLabels: j.sel.FinalLabels,
-		}
-		for _, ps := range j.sel.Scores {
-			res.Scores = append(res.Scores, ScoreView{Param: ps.Param, Score: ps.Score, FoldScores: ps.FoldScores})
-		}
-		v.Result = res
-	}
+	v.Result = j.result
 	return v
 }

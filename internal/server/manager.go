@@ -2,24 +2,28 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cvcp/internal/dataset"
 	"cvcp/internal/runner"
+	"cvcp/internal/store"
 )
 
 // Sentinel errors of the job manager; handlers map them to structured API
 // errors.
 var (
 	// ErrQueueFull rejects a submission when the bounded FIFO queue is at
-	// capacity.
+	// capacity (a batch needs one free slot per dataset).
 	ErrQueueFull = errors.New("server: job queue is full")
 	// ErrDraining rejects submissions after Shutdown began.
 	ErrDraining = errors.New("server: shutting down, not accepting jobs")
-	// ErrNotFound marks an unknown (or evicted) job id.
+	// ErrNotFound marks an unknown (or evicted) job or batch id.
 	ErrNotFound = errors.New("server: no such job")
 )
 
@@ -27,36 +31,67 @@ func errUnknownAlgorithm(name string) error {
 	return fmt.Errorf("server: unknown algorithm %q (have %s)", name, strings.Join(algorithmNames(), ", "))
 }
 
-// Manager owns the job queue, the executors and the in-memory job store.
+// Manager owns the job queue, the executors and the live job set. Job
+// persistence is delegated to a store.Store: every lifecycle transition is
+// mirrored into it, listings page through it, and at construction time the
+// manager replays whatever the store holds — finished jobs come back as
+// resident results, jobs a previous process was killed around are
+// re-queued and run again (deterministic seeding makes the re-run select
+// the same parameter). With the default in-memory store the manager
+// behaves exactly like the pre-store versions; with a file store the
+// service survives restarts.
 type Manager struct {
 	cfg     Config
+	store   store.Store
 	limiter *runner.Limiter
-	queue   chan *Job
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	execWG     sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for listing
-	finished []string // finish order, for eviction
-	nextID   int
-	draining bool
+	mu        sync.Mutex
+	cond      *sync.Cond // signals: pending grew, or draining began
+	pending   []*Job     // the FIFO queue; cancelled jobs are removed eagerly
+	jobs      map[string]*Job
+	order     []string // ID (= submission) order, for List
+	finished  []string // finish order, for eviction
+	batches   map[string]*batchState
+	nextID    int
+	nextBatch int
+	reserved  int // queue slots held by submissions persisting outside the lock
+	draining  bool
+
+	// metaMu serializes counter high-water-mark writes so a stale
+	// snapshot can never overwrite a newer one (see applyEviction).
+	metaMu sync.Mutex
 }
 
-// NewManager returns a Manager with its executors started.
+// batchState tracks one batch's membership. Jobs evicted from the store
+// leave the ID in place so the batch view can report them as evicted.
+type batchState struct {
+	id      string
+	created time.Time
+	jobIDs  []string
+	evicted int
+}
+
+// NewManager returns a Manager with its executors started. Any records in
+// cfg.Store are replayed first: terminal records become resident finished
+// jobs, non-terminal records are re-queued ahead of new submissions.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
+		store:      cfg.Store,
 		limiter:    runner.NewLimiter(cfg.WorkerBudget),
-		queue:      make(chan *Job, cfg.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
+		batches:    map[string]*batchState{},
 	}
+	m.cond = sync.NewCond(&m.mu)
+	m.replay()
 	// The executors are the only goroutines the manager owns: a fixed pool
 	// started once, consuming the FIFO queue. All per-job clustering work
 	// dispatches through internal/runner under the shared Limiter.
@@ -70,27 +105,150 @@ func NewManager(cfg Config) *Manager {
 // Config returns the effective (defaulted) configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
+// replay loads every record from the store before the executors start:
+// terminal records resurrect in place, interrupted ones re-enter the
+// queue, ID counters resume past everything seen, and batch membership is
+// rebuilt from the records' batch fields. Runs before any concurrency
+// exists, so it takes no locks.
+func (m *Manager) replay() {
+	cursor := ""
+	for {
+		recs, next, err := m.store.List(cursor, 256)
+		if err != nil {
+			return // an unreadable store serves as empty; Submit will surface Put errors
+		}
+		for _, rec := range recs {
+			m.restore(rec)
+		}
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	m.applyEviction(m.trimFinishedLocked())
+}
+
+func (m *Manager) restore(rec store.Record) {
+	if rec.ID == metaID {
+		// The counter high-water mark: jobs evicted before the restart
+		// may have held IDs above every surviving record.
+		var meta metaRecord
+		if json.Unmarshal(rec.Spec, &meta) == nil {
+			if meta.NextID > m.nextID {
+				m.nextID = meta.NextID
+			}
+			if meta.NextBatch > m.nextBatch {
+				m.nextBatch = meta.NextBatch
+			}
+		}
+		return
+	}
+	if !strings.HasPrefix(rec.ID, "job-") {
+		return // not a job record; ignore unknown reserved IDs
+	}
+	if n, ok := numericSuffix(rec.ID, "job-"); ok && n > m.nextID {
+		m.nextID = n
+	}
+	if !Status(rec.Status).Terminal() {
+		// List omits the dataset payload; an interrupted job needs it to
+		// re-queue, so fetch the full record.
+		if full, ok, err := m.store.Get(rec.ID); err == nil && ok {
+			rec = full
+		}
+	}
+	if n, ok := numericSuffix(rec.Batch, "batch-"); ok && n > m.nextBatch {
+		m.nextBatch = n
+	}
+	j, requeue := jobFromRecord(rec, m.baseCtx)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	if j.batch != "" {
+		b := m.batches[j.batch]
+		if b == nil {
+			b = &batchState{id: j.batch, created: j.created}
+			m.batches[j.batch] = b
+		}
+		b.jobIDs = append(b.jobIDs, j.id)
+		if b.created.After(j.created) {
+			b.created = j.created
+		}
+	}
+	if requeue {
+		// Back to the queue; persist the reset (a "running" record becomes
+		// "queued" again so a second restart replays consistently).
+		m.pending = append(m.pending, j)
+		m.persist(j)
+		return
+	}
+	if j.Status().Terminal() {
+		m.finished = append(m.finished, j.id)
+		if Status(rec.Status) != j.Status() {
+			m.persist(j) // a corrupt record was re-marked failed
+		}
+	}
+}
+
 func (m *Manager) executor() {
 	defer m.execWG.Done()
-	for j := range m.queue {
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.draining {
+			m.cond.Wait()
+		}
+		if len(m.pending) == 0 { // draining and nothing left
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+
 		if j.claimRun() {
+			m.persist(j) // running
 			j.execute(m.limiter, m.cfg.WorkerBudget)
 		}
-		// Whether the job ran or was cancelled while queued, it is
-		// finished now: enter it into the eviction window.
+		// Whether the job ran or was cancelled in the instant between the
+		// pop and the claim, it is terminal now: persist the final state
+		// and enter it into the eviction window.
+		m.persist(j)
 		m.retire(j)
 	}
 }
 
+// persist mirrors the job's current state into the store. Failures after
+// submission are swallowed: the live job is still served from memory, and
+// the next transition retries.
+func (m *Manager) persist(j *Job) {
+	_ = m.store.Put(j.record())
+}
+
 // retire records a finished job and evicts the oldest finished jobs beyond
-// the retention window.
+// the retention window. The store writes of an eviction happen outside the
+// lock.
 func (m *Manager) retire(j *Job) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.finished = append(m.finished, j.id)
+	evicted, meta := m.trimFinishedLocked()
+	m.mu.Unlock()
+	m.applyEviction(evicted, meta)
+}
+
+// trimFinishedLocked evicts beyond-retention finished jobs from the
+// in-memory state and returns the record IDs to delete from the store,
+// plus whether the counter high-water mark needs (re)writing. Callers
+// hold mu and pass the results to applyEviction after unlocking.
+func (m *Manager) trimFinishedLocked() (evicted []string, writeMeta bool) {
 	for len(m.finished) > m.cfg.RetainFinished {
 		evict := m.finished[0]
 		m.finished = m.finished[1:]
+		if j := m.jobs[evict]; j != nil && j.batch != "" {
+			if b := m.batches[j.batch]; b != nil {
+				b.evicted++
+				if b.evicted == len(b.jobIDs) {
+					delete(m.batches, j.batch)
+				}
+			}
+		}
 		delete(m.jobs, evict)
 		for i, id := range m.order {
 			if id == evict {
@@ -98,34 +256,174 @@ func (m *Manager) retire(j *Job) {
 				break
 			}
 		}
+		evicted = append(evicted, evict)
+	}
+	return evicted, len(evicted) > 0
+}
+
+// applyEviction performs the store writes of an eviction decided by
+// trimFinishedLocked: the counter high-water mark FIRST (a crash between
+// the writes must never leave deleted IDs uncovered), then the record
+// deletes. Meta writes serialize under metaMu with counters read fresh at
+// write time — the counters only grow and every deletable ID was minted
+// before any write, so the last writer always persists a covering value.
+func (m *Manager) applyEviction(evicted []string, writeMeta bool) {
+	if writeMeta {
+		m.metaMu.Lock()
+		m.mu.Lock()
+		spec, _ := json.Marshal(metaRecord{NextID: m.nextID, NextBatch: m.nextBatch})
+		m.mu.Unlock()
+		_ = m.store.Put(store.Record{ID: metaID, Status: "meta", Spec: spec})
+		m.metaMu.Unlock()
+	}
+	for _, id := range evicted {
+		_ = m.store.Delete(id)
+	}
+}
+
+// reserveLocked allocates n job IDs and holds n queue slots for a
+// submission that will persist outside the lock. The caller holds mu.
+func (m *Manager) reserveLocked(n int) ([]string, error) {
+	if m.draining {
+		return nil, ErrDraining
+	}
+	if len(m.pending)+m.reserved+n > m.cfg.QueueDepth {
+		return nil, ErrQueueFull
+	}
+	// Nine digits of zero padding: the store orders by lexicographic ID,
+	// which must equal numeric order for the lifetime of a durable store
+	// (the counters survive restarts), so the pad has to outlast it.
+	ids := make([]string, n)
+	for i := range ids {
+		m.nextID++
+		ids[i] = fmt.Sprintf("job-%09d", m.nextID)
+	}
+	m.reserved += n
+	return ids, nil
+}
+
+// release returns n reserved queue slots after a failed submission. The
+// consumed IDs stay consumed — gaps are harmless, reuse is not.
+func (m *Manager) release(n int) {
+	m.mu.Lock()
+	m.reserved -= n
+	m.mu.Unlock()
+}
+
+// publish exposes fully persisted jobs (and their batch, if any): they
+// enter the job map, the listing order and the FIFO queue, and their
+// reserved slots convert into real queue entries. If the manager started
+// draining while the jobs were persisting, they are discarded instead and
+// ErrDraining is returned — the drain may already have stopped the
+// executors that would run them.
+func (m *Manager) publish(jobs []*Job, b *batchState) error {
+	m.mu.Lock()
+	m.reserved -= len(jobs)
+	if m.draining {
+		m.mu.Unlock()
+		for _, j := range jobs {
+			m.discardPersisted(j)
+		}
+		return ErrDraining
+	}
+	for _, j := range jobs {
+		m.jobs[j.id] = j
+		i := sort.SearchStrings(m.order, j.id)
+		m.order = append(m.order, "")
+		copy(m.order[i+1:], m.order[i:])
+		m.order[i] = j.id
+		m.pending = append(m.pending, j)
+	}
+	if b != nil {
+		m.batches[b.id] = b
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	return nil
+}
+
+// discardPersisted erases the durable trace of a job that was persisted
+// but never published (a rollback, or a drain that began mid-submission).
+// If the delete fails too, a terminal cancelled record is written
+// best-effort — a terminal record is never re-queued by a restart, so the
+// job cannot run either way.
+func (m *Manager) discardPersisted(j *Job) {
+	j.requestCancel()
+	if err := m.store.Delete(j.id); err != nil {
+		_ = m.store.Put(j.record())
 	}
 }
 
 // Submit validates nothing (the caller did) and enqueues a new job for ds
 // under spec. It fails with ErrDraining after Shutdown began and with
-// ErrQueueFull when the FIFO queue is at capacity. Note that a job
-// cancelled while queued keeps its queue slot until an executor pops and
-// skips it (a skip is instant — no clustering runs), so under sustained
-// load the queue can briefly report full while holding cancelled entries.
+// ErrQueueFull when the FIFO queue is at capacity. The job is durably
+// persisted before it is visible or runnable; the expensive work
+// (serialization, the store write and its fsync) happens outside the
+// manager lock, so concurrent reads never stall behind a submission.
+// Cancelling a queued job removes it from the queue immediately, so its
+// slot frees without waiting for an executor.
 func (m *Manager) Submit(spec Spec, ds *dataset.Dataset) (*Job, error) {
+	blob := marshalDataset(ds)
+	m.mu.Lock()
+	ids, err := m.reserveLocked(1)
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	j := newJob(ids[0], "", spec, ds, blob, m.baseCtx)
+	if err := m.store.Put(j.record()); err != nil {
+		m.release(1)
+		j.cancel()
+		return nil, fmt.Errorf("server: persisting job: %w", err)
+	}
+	if err := m.publish([]*Job{j}, nil); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// SubmitBatch enqueues one job per item under a fresh batch ID, all-or-
+// nothing: the batch needs len(items) free queue slots or it fails with
+// ErrQueueFull, and a persistence failure rolls back the jobs already
+// persisted. Items run as independent jobs (each drawing on the shared
+// worker budget), so a batch of N datasets yields exactly the N selections
+// the individual submissions would.
+func (m *Manager) SubmitBatch(items []BatchItem) (BatchView, error) {
+	blobs := make([][]byte, len(items))
+	for i, it := range items {
+		blobs[i] = marshalDataset(it.Dataset)
+	}
+	m.mu.Lock()
+	ids, err := m.reserveLocked(len(items))
+	if err != nil {
+		m.mu.Unlock()
+		return BatchView{}, err
+	}
+	m.nextBatch++
+	bid := fmt.Sprintf("batch-%09d", m.nextBatch)
+	m.mu.Unlock()
+
+	b := &batchState{id: bid, created: time.Now()}
+	jobs := make([]*Job, 0, len(items))
+	for i, it := range items {
+		j := newJob(ids[i], bid, it.Spec, it.Dataset, blobs[i], m.baseCtx)
+		if err := m.store.Put(j.record()); err != nil {
+			// Roll the partial batch back so it never half-exists.
+			for _, created := range jobs {
+				m.discardPersisted(created)
+			}
+			m.release(len(items))
+			return BatchView{}, fmt.Errorf("server: persisting job: %w", err)
+		}
+		jobs = append(jobs, j)
+		b.jobIDs = append(b.jobIDs, j.id)
+	}
+	if err := m.publish(jobs, b); err != nil {
+		return BatchView{}, err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.draining {
-		return nil, ErrDraining
-	}
-	m.nextID++
-	id := fmt.Sprintf("job-%06d", m.nextID)
-	j := newJob(id, spec, ds, m.baseCtx)
-	select {
-	case m.queue <- j:
-	default:
-		m.nextID--
-		j.cancel()
-		return nil, ErrQueueFull
-	}
-	m.jobs[id] = j
-	m.order = append(m.order, id)
-	return j, nil
+	return m.batchViewLocked(b), nil
 }
 
 // Get returns the job with the given id, or ErrNotFound (also for evicted
@@ -158,30 +456,124 @@ func (m *Manager) List() []*Job {
 	return out
 }
 
-// Cancel cancels the job with the given id: a queued job becomes cancelled
-// immediately, a running job's context is cancelled and the job finishes as
-// cancelled once the engine stops. Cancelling a finished job is a no-op.
-// The returned status is the job's state after the request.
+// ListPage returns up to limit job views with ID > cursor in submission
+// order, plus the cursor for the next page ("" when exhausted). limit <= 0
+// means no limit. The page walks the store (the source of listing order);
+// resident jobs contribute their live view, records without a resident job
+// (evicted mid-listing) fall back to the persisted snapshot. Reserved
+// records (the counter high-water mark) are filtered out and refilled, so
+// pages are never short of limit while more jobs exist.
+func (m *Manager) ListPage(cursor string, limit int) ([]JobView, string, error) {
+	views := make([]JobView, 0, max(limit, 0))
+	for {
+		want := limit
+		if limit > 0 {
+			want = limit - len(views)
+		}
+		recs, next, err := m.store.List(cursor, want)
+		if err != nil {
+			return nil, "", err
+		}
+		m.mu.Lock()
+		for _, rec := range recs {
+			if !strings.HasPrefix(rec.ID, "job-") {
+				continue // reserved records (e.g. the counter high-water mark)
+			}
+			if j, ok := m.jobs[rec.ID]; ok {
+				views = append(views, j.View())
+			} else {
+				views = append(views, viewFromRecord(rec))
+			}
+		}
+		m.mu.Unlock()
+		cursor = next
+		if next == "" || limit <= 0 || len(views) >= limit {
+			return views, next, nil
+		}
+		// A filtered reserved record left the page short: fetch more.
+	}
+}
+
+// GetBatch returns the aggregate view of a batch, or ErrNotFound.
+func (m *Manager) GetBatch(id string) (BatchView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.batches[id]
+	if !ok {
+		return BatchView{}, ErrNotFound
+	}
+	return m.batchViewLocked(b), nil
+}
+
+func (m *Manager) batchViewLocked(b *batchState) BatchView {
+	v := BatchView{
+		ID:      b.id,
+		Created: b.created,
+		Total:   len(b.jobIDs),
+		Evicted: b.evicted,
+		Counts:  map[Status]int{},
+		Done:    true,
+	}
+	for _, id := range b.jobIDs {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		jv := j.View()
+		v.Counts[jv.Status]++
+		if !jv.Status.Terminal() {
+			v.Done = false
+		}
+		v.Jobs = append(v.Jobs, jv)
+	}
+	return v
+}
+
+// Cancel cancels the job with the given id: a queued job is removed from
+// the FIFO queue and finalized immediately (its queue slot frees at once),
+// a running job's context is cancelled and the job finishes as cancelled
+// once the engine stops. Cancelling a finished job is a no-op. The
+// returned status is the job's state after the request.
 func (m *Manager) Cancel(id string) (Status, error) {
 	j, err := m.Get(id)
 	if err != nil {
 		return "", err
 	}
-	return j.requestCancel(), nil
+	st := j.requestCancel()
+	if st == StatusCancelled {
+		// If the job was still waiting in the queue, pull it out now: no
+		// executor should spend a pop on it, and its slot frees
+		// immediately. Exactly one of this path and the executor (which
+		// pops before we got here) retires the job.
+		m.mu.Lock()
+		removed := false
+		for i, q := range m.pending {
+			if q == j {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		m.mu.Unlock()
+		if removed {
+			m.persist(j)
+			m.retire(j)
+		}
+	}
+	return st, nil
 }
 
 // Shutdown drains the manager: no new submissions are accepted, queued and
 // running jobs are given until ctx expires to finish, then all remaining
 // jobs are force-cancelled. It returns ctx.Err() when the drain deadline
-// was hit, nil on a clean drain. Shutdown is idempotent.
+// was hit, nil on a clean drain. Shutdown is idempotent. The store is not
+// closed — its owner (e.g. cmd/cvcpd) closes it after the drain, so the
+// final job states are compacted into the snapshot.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
-	already := m.draining
 	m.draining = true
+	m.cond.Broadcast()
 	m.mu.Unlock()
-	if !already {
-		close(m.queue)
-	}
 
 	done := make(chan struct{})
 	go func() {

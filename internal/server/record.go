@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"cvcp/internal/dataset"
+	"cvcp/internal/store"
+)
+
+// specRecord is the opaque Spec payload the manager persists into a
+// store.Record: the job specification plus the view-level dataset identity
+// (terminal records drop the dataset payload, so name and size must
+// survive on their own) and the last progress counters.
+type specRecord struct {
+	Spec        Spec   `json:"spec"`
+	DatasetName string `json:"dataset_name"`
+	Objects     int    `json:"objects"`
+	Done        int    `json:"done"`
+	Total       int    `json:"total"`
+}
+
+// datasetRecord is the opaque dataset payload of a non-terminal record —
+// everything needed to rebuild the dataset and re-run the job after a
+// restart. WriteCSV emits full float64 precision, so the rebuilt dataset
+// (and hence the re-run selection, with the persisted seed) is
+// bit-identical to the original.
+type datasetRecord struct {
+	HasLabel bool   `json:"has_label"`
+	CSV      string `json:"csv"`
+}
+
+// marshalDataset serializes a dataset into the persisted payload form.
+// It is called once per submission, outside the manager lock (the CSV
+// round-trip is the expensive part of persisting a job), and the result
+// is reused for every non-terminal persist of that job.
+func marshalDataset(ds *dataset.Dataset) []byte {
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		return nil
+	}
+	blob, _ := json.Marshal(datasetRecord{HasLabel: ds.Labeled(), CSV: buf.String()})
+	return blob
+}
+
+// record snapshots the job as a persistable store.Record. Terminal records
+// carry the result but not the dataset; live records carry the dataset so
+// an interrupted job can be re-queued on restart.
+func (j *Job) record() store.Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	specJSON, _ := json.Marshal(specRecord{
+		Spec: j.spec, DatasetName: j.dsName, Objects: j.objects,
+		Done: j.done, Total: j.total,
+	})
+	rec := store.Record{
+		ID:       j.id,
+		Batch:    j.batch,
+		Status:   string(j.status),
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Error:    j.errMsg,
+		Spec:     specJSON,
+	}
+	if j.status.Terminal() {
+		if j.result != nil {
+			rec.Result, _ = json.Marshal(j.result)
+		}
+	} else {
+		rec.Dataset = j.dsBlob
+	}
+	return rec
+}
+
+// jobFromRecord rebuilds a job from a persisted record during startup
+// replay. Terminal records resurrect as finished jobs (result and
+// timestamps intact, event history condensed to the lifecycle
+// transitions). Non-terminal records — the jobs a previous process was
+// killed around — rebuild their dataset and come back as queued jobs;
+// requeue reports that the caller must enqueue them. A record that cannot
+// be decoded comes back as a failed job carrying the decode error, so
+// corruption is visible in listings instead of silently dropped.
+func jobFromRecord(rec store.Record, parent context.Context) (j *Job, requeue bool) {
+	var sr specRecord
+	if err := json.Unmarshal(rec.Spec, &sr); err != nil {
+		return corruptJob(rec, fmt.Errorf("decoding job spec: %w", err)), false
+	}
+	status := Status(rec.Status)
+	if status.Terminal() {
+		j := newResurrectedJob(rec, sr, status)
+		if len(rec.Result) > 0 {
+			var res ResultView
+			if err := json.Unmarshal(rec.Result, &res); err == nil {
+				j.result = &res
+			}
+		}
+		return j, false
+	}
+
+	// Interrupted mid-flight: rebuild the dataset and re-queue.
+	var dr datasetRecord
+	if err := json.Unmarshal(rec.Dataset, &dr); err != nil {
+		return corruptJob(rec, fmt.Errorf("decoding job dataset: %w", err)), false
+	}
+	ds, err := dataset.ReadCSV(sr.DatasetName, strings.NewReader(dr.CSV), dr.HasLabel)
+	if err != nil {
+		return corruptJob(rec, fmt.Errorf("rebuilding job dataset: %w", err)), false
+	}
+	j = newJob(rec.ID, rec.Batch, sr.Spec, ds, rec.Dataset, parent)
+	j.created = rec.Created // keep the original submission time
+	return j, true
+}
+
+// newResurrectedJob builds a terminal job shell from a record: no context,
+// no dataset, no live subscribers — just the persisted state plus a
+// condensed event history so SSE replay still shows the lifecycle.
+func newResurrectedJob(rec store.Record, sr specRecord, status Status) *Job {
+	j := &Job{
+		id:       rec.ID,
+		batch:    rec.Batch,
+		spec:     sr.Spec,
+		dsName:   sr.DatasetName,
+		objects:  sr.Objects,
+		created:  rec.Created,
+		started:  rec.Started,
+		finished: rec.Finished,
+		status:   status,
+		done:     sr.Done,
+		total:    sr.Total,
+		errMsg:   rec.Error,
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.cancel()
+	j.publishLocked(Event{Type: "status", Status: StatusQueued})
+	j.publishLocked(Event{Type: "status", Status: status})
+	return j
+}
+
+// corruptJob marks an undecodable record as a failed job so it stays
+// visible.
+func corruptJob(rec store.Record, err error) *Job {
+	j := newResurrectedJob(rec, specRecord{DatasetName: "(corrupt record)"}, StatusFailed)
+	j.errMsg = fmt.Sprintf("restored from store: %v", err)
+	if j.finished.IsZero() {
+		j.finished = time.Now()
+	}
+	return j
+}
+
+// viewFromRecord builds a JobView straight from a record, for listings
+// that encounter a record with no resident job (e.g. evicted between the
+// store read and the view pass).
+func viewFromRecord(rec store.Record) JobView {
+	var sr specRecord
+	_ = json.Unmarshal(rec.Spec, &sr)
+	v := JobView{
+		ID:        rec.ID,
+		Batch:     rec.Batch,
+		Status:    Status(rec.Status),
+		Algorithm: sr.Spec.Algorithm,
+		Dataset:   sr.DatasetName,
+		Objects:   sr.Objects,
+		Params:    sr.Spec.Params,
+		Folds:     sr.Spec.NFolds,
+		Seed:      sr.Spec.Seed,
+		Created:   rec.Created,
+		Done:      sr.Done,
+		Total:     sr.Total,
+		Error:     rec.Error,
+	}
+	if !rec.Started.IsZero() {
+		t := rec.Started
+		v.Started = &t
+	}
+	if !rec.Finished.IsZero() {
+		t := rec.Finished
+		v.Finished = &t
+	}
+	if len(rec.Result) > 0 {
+		var res ResultView
+		if err := json.Unmarshal(rec.Result, &res); err == nil {
+			v.Result = &res
+		}
+	}
+	return v
+}
+
+// metaID is the reserved record ID of the manager's counter high-water
+// mark. It sorts before every "job-" ID, is skipped by job listings and
+// replay, and exists so that IDs of jobs evicted before a restart are
+// never re-issued to new jobs (the surviving records alone cannot prove
+// how far the counters had advanced).
+const metaID = "_meta"
+
+// metaRecord is the Spec payload of the metaID record.
+type metaRecord struct {
+	NextID    int `json:"next_id"`
+	NextBatch int `json:"next_batch"`
+}
+
+// numericSuffix parses the numeric tail of a "prefix-000123" identifier;
+// the manager uses it to resume its ID counters past everything replayed
+// from the store.
+func numericSuffix(id, prefix string) (int, bool) {
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(id, prefix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

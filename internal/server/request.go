@@ -79,6 +79,21 @@ func parseJSONSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset
 	if req.CSV == "" {
 		return Spec{}, nil, badRequest("invalid_request", `JSON submissions require a non-empty "csv" field`)
 	}
+	spec, apiErr := specFromRequest(req)
+	if apiErr != nil {
+		return Spec{}, nil, apiErr
+	}
+	ds, apiErr := parseCSV(req.Name, strings.NewReader(req.CSV), req.HasLabel, maxBody)
+	if apiErr != nil {
+		return Spec{}, nil, apiErr
+	}
+	return finishSpec(spec, ds)
+}
+
+// specFromRequest assembles the job spec from a JSON submission's option
+// fields (shared by single-job and batch submissions). The spec still
+// needs finishSpec against a concrete dataset.
+func specFromRequest(req jobRequest) (Spec, *apiError) {
 	spec := Spec{
 		Algorithm:     req.Algorithm,
 		Params:        req.Params,
@@ -89,21 +104,17 @@ func parseJSONSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset
 	if len(spec.Params) == 0 && (req.ParamMin != 0 || req.ParamMax != 0) {
 		var apiErr *apiError
 		if spec.Params, apiErr = paramRange(req.ParamMin, req.ParamMax); apiErr != nil {
-			return Spec{}, nil, apiErr
+			return Spec{}, apiErr
 		}
 	}
 	for _, c := range req.Constraints {
 		cs, err := constraintFromKind(c.A, c.B, c.Link)
 		if err != nil {
-			return Spec{}, nil, badRequest("invalid_request", "constraints: %v", err)
+			return Spec{}, badRequest("invalid_request", "constraints: %v", err)
 		}
 		spec.Constraints = append(spec.Constraints, cs)
 	}
-	ds, apiErr := parseCSV(req.Name, strings.NewReader(req.CSV), req.HasLabel, maxBody)
-	if apiErr != nil {
-		return Spec{}, nil, apiErr
-	}
-	return finishSpec(spec, ds)
+	return spec, nil
 }
 
 func parseMultipartSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset, *apiError) {

@@ -1,34 +1,57 @@
 // Package server is the CVCP selection service: a JSON HTTP API over an
 // asynchronous job manager that runs model selections through the
-// internal/runner engine.
+// internal/runner engine and persists job state through an internal/store
+// Store.
 //
-// The API (cmd/cvcpd serves it):
+// The API (cmd/cvcpd serves it; docs/api.md is the full reference):
 //
 //	POST   /v1/jobs             submit a selection job (CSV dataset in the
 //	                            request body, as a multipart upload, or
 //	                            inline in a JSON document)
-//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs             list jobs, cursor-paginated
+//	                            (?limit=&cursor=)
 //	GET    /v1/jobs/{id}        job status, progress and result
-//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	DELETE /v1/jobs/{id}        cancel a queued or running job (a queued
+//	                            job leaves the FIFO queue immediately)
 //	GET    /v1/jobs/{id}/events stream progress as Server-Sent Events
+//	POST   /v1/batches          submit N datasets sharing one option set
+//	GET    /v1/batches/{id}     aggregate per-item status of a batch
+//	GET    /healthz             liveness
 //
-// Behind the API sits the Manager: a bounded FIFO queue feeding a fixed set
-// of job executors, with a global worker budget (a runner.Limiter) shared
-// by every running job's fold×parameter grid — the machine-wide concurrency
-// is bounded no matter how many jobs run at once, and all clustering work
-// dispatches through internal/runner rather than ad-hoc goroutines. Job
-// state lives in a capacity-bounded in-memory store: finished jobs beyond
-// the retention window are evicted oldest-first. Shutdown drains
-// gracefully: new submissions are rejected, queued and running jobs finish
-// (or are force-cancelled when the drain context expires).
+// Behind the API sits the Manager: a bounded FIFO queue feeding a fixed
+// set of job executors, with a global worker budget (a runner.Limiter)
+// shared by every running job's fold×parameter grid — the machine-wide
+// concurrency is bounded no matter how many jobs run at once, and all
+// clustering work dispatches through internal/runner rather than ad-hoc
+// goroutines.
+//
+// Job state is delegated to a store.Store (Config.Store): every lifecycle
+// transition is mirrored into it, listings page through it, and finished
+// jobs beyond the retention window are evicted oldest-first. With the
+// default in-memory store the service is exactly as ephemeral as before
+// the store existed; with a file store (cvcpd -store-dir) the manager
+// replays the store on startup — finished jobs reappear with their
+// results, and jobs interrupted mid-run are re-queued and, thanks to
+// deterministic per-cell seeding, select the same parameter they would
+// have.
+//
+// Shutdown drains gracefully: new submissions are rejected, queued and
+// running jobs finish (or are force-cancelled when the drain context
+// expires), and the final states are persisted before the store's owner
+// compacts and closes it.
 package server
 
-import "runtime"
+import (
+	"runtime"
+
+	"cvcp/internal/store"
+)
 
 // Config sizes the Manager.
 type Config struct {
 	// QueueDepth bounds how many submitted jobs may wait for an executor;
-	// submissions beyond it fail with ErrQueueFull. 0 means 64.
+	// submissions beyond it fail with ErrQueueFull. A batch needs one
+	// slot per dataset. 0 means 64.
 	QueueDepth int
 	// MaxRunningJobs is the number of job executors — how many selections
 	// may be in the running state at once. 0 means 2.
@@ -40,9 +63,14 @@ type Config struct {
 	// RetainFinished bounds how many finished (done/failed/cancelled) jobs
 	// the store keeps; older finished jobs are evicted. 0 means 64.
 	RetainFinished int
-	// MaxBodyBytes caps the request body (and hence the CSV dataset) of a
-	// submission. 0 means 32 MiB.
+	// MaxBodyBytes caps the request body (and hence the CSV dataset(s)) of
+	// a submission. 0 means 32 MiB.
 	MaxBodyBytes int64
+	// Store persists job records. The manager replays it on startup and
+	// mirrors every job transition into it. Nil means a fresh in-memory
+	// store (no durability). The manager never closes the store; its
+	// owner does, after Shutdown.
+	Store store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Store == nil {
+		c.Store = store.NewMemory()
 	}
 	return c
 }

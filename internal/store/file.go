@@ -1,0 +1,321 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	snapshotName = "jobs.snapshot.json"
+	walName      = "jobs.wal.jsonl"
+
+	// compactMinWAL is the write-ahead log length below which the file
+	// store never compacts: snapshots cost a full rewrite, so tiny logs
+	// are left alone.
+	compactMinWAL = 256
+)
+
+// walEntry is one line of the write-ahead log: exactly one of Put or
+// Delete is set.
+type walEntry struct {
+	Put    *Record `json:"put,omitempty"`
+	Delete string  `json:"del,omitempty"`
+}
+
+// snapshot is the on-disk snapshot document.
+type snapshot struct {
+	Records []Record `json:"records"`
+}
+
+// File is the durable Store: every Put/Delete is appended (and fsynced)
+// to a JSONL write-ahead log, and the full record set is periodically
+// compacted into a snapshot so the log stays short. Opening a directory
+// loads the snapshot, replays the log on top of it — tolerating a torn
+// final line from a crash mid-append — and serves the merged state.
+//
+// Durability model: an entry is on disk before the corresponding call
+// returns, so a job submitted (or finished) before a crash is replayed
+// after it. Compaction is atomic (snapshot written to a temp file and
+// renamed); a crash between the rename and the log truncation merely
+// replays log entries that are already in the snapshot, which is
+// idempotent.
+type File struct {
+	dir string
+
+	mu      sync.Mutex
+	tab     *table
+	wal     *os.File
+	walLen  int   // entries appended since the last compaction
+	walSize int64 // bytes of complete, valid entries in the log file
+	closed  bool
+}
+
+// Open loads (or initializes) a file store in dir, creating the
+// directory if needed.
+func Open(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	f := &File{dir: dir, tab: newTable()}
+	if err := f.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	replayed, validLen, err := f.replayWAL()
+	if err != nil {
+		return nil, err
+	}
+	// Drop any torn tail now, before appending after it would turn the
+	// tolerated final line into fatal interior corruption on the next
+	// Open.
+	path := filepath.Join(dir, walName)
+	if st, err := os.Stat(path); err == nil && st.Size() > validLen {
+		if err := os.Truncate(path, validLen); err != nil {
+			return nil, fmt.Errorf("store: trimming torn WAL tail: %w", err)
+		}
+	}
+	f.walLen = replayed
+	f.walSize = validLen
+	wal, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	f.wal = wal
+	return f, nil
+}
+
+func (f *File) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(f.dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("store: corrupt snapshot %s: %w", snapshotName, err)
+	}
+	for _, rec := range snap.Records {
+		f.tab.put(rec)
+	}
+	return nil
+}
+
+// replayWAL applies the write-ahead log on top of the snapshot. It
+// returns the entry count and the byte length of the valid prefix. A
+// malformed final line is tolerated (a crash mid-append leaves one) and
+// excluded from the valid length so Open can trim it; malformed interior
+// lines are an error, since everything after them would silently vanish.
+func (f *File) replayWAL() (entries int, validLen int64, err error) {
+	data, err := os.ReadFile(filepath.Join(f.dir, walName))
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: reading WAL: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		lineEnd := len(data)
+		next := len(data)
+		if nl := bytes.IndexByte(data[off:], '\n'); nl >= 0 {
+			lineEnd = off + nl
+			next = off + nl + 1
+		}
+		line := data[off:lineEnd]
+		if len(bytes.TrimSpace(line)) == 0 {
+			off = next
+			continue
+		}
+		var e walEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			if next < len(data) {
+				return 0, 0, fmt.Errorf("store: corrupt WAL entry %d: %w", entries+1, err)
+			}
+			return entries, int64(off), nil // torn final line from a crash: drop it
+		}
+		switch {
+		case e.Put != nil:
+			f.tab.put(*e.Put)
+		case e.Delete != "":
+			f.tab.delete(e.Delete)
+		}
+		entries++
+		off = next
+	}
+	return entries, int64(off), nil
+}
+
+// append writes one WAL entry and syncs it to disk. On failure the log is
+// truncated back to its last known-good length: a partial line left in
+// place would poison every later append (the next Open would see interior
+// corruption and refuse to start).
+func (f *File) append(e walEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encoding WAL entry: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := f.wal.Write(data); err != nil {
+		_ = f.wal.Truncate(f.walSize)
+		return fmt.Errorf("store: appending WAL entry: %w", err)
+	}
+	if err := f.wal.Sync(); err != nil {
+		_ = f.wal.Truncate(f.walSize)
+		return fmt.Errorf("store: syncing WAL: %w", err)
+	}
+	f.walSize += int64(len(data))
+	f.walLen++
+	return nil
+}
+
+// compactLocked rewrites the snapshot from the resident records and
+// truncates the log. Callers hold mu.
+func (f *File) compactLocked() error {
+	snap := snapshot{Records: make([]Record, 0, len(f.tab.ids))}
+	for _, id := range f.tab.ids {
+		snap.Records = append(snap.Records, f.tab.recs[id])
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	// The snapshot must be durably on disk BEFORE the log is truncated:
+	// write to a temp file, fsync it, rename into place, fsync the
+	// directory. Otherwise a crash after the truncation could leave both
+	// an unflushed snapshot and an empty log.
+	tmp := filepath.Join(f.dir, snapshotName+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(f.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if d, err := os.Open(f.dir); err == nil {
+		_ = d.Sync() // make the rename durable; best-effort on filesystems without dir fsync
+		d.Close()
+	}
+	// The snapshot now durably holds everything: restart the log. A crash
+	// right here replays pre-truncation entries over an equal snapshot,
+	// which is harmless.
+	if err := f.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating WAL: %w", err)
+	}
+	f.walLen = 0
+	f.walSize = 0
+	return nil
+}
+
+// maybeCompactLocked compacts when the log has grown well past the
+// resident record count — the point where replay would mostly apply
+// overwritten states.
+func (f *File) maybeCompactLocked() error {
+	if f.walLen >= compactMinWAL && f.walLen >= 4*len(f.tab.recs) {
+		return f.compactLocked()
+	}
+	return nil
+}
+
+// Put inserts or overwrites rec under rec.ID, durably.
+func (f *File) Put(rec Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	rec = rec.Clone()
+	if err := f.append(walEntry{Put: &rec}); err != nil {
+		return err
+	}
+	f.tab.put(rec)
+	// A compaction failure is NOT a Put failure: the record is already
+	// durable in the WAL (reporting an error here would make the caller
+	// treat a persisted record as unpersisted — a ghost a restart would
+	// resurrect). Compaction retries at the next threshold and on Close.
+	_ = f.maybeCompactLocked()
+	return nil
+}
+
+// Get returns the record under id and whether it exists.
+func (f *File) Get(id string) (Record, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return Record{}, false, ErrClosed
+	}
+	rec, ok := f.tab.recs[id]
+	if !ok {
+		return Record{}, false, nil
+	}
+	return rec.Clone(), true, nil
+}
+
+// List pages through the records in ascending ID order.
+func (f *File) List(cursor string, limit int) ([]Record, string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, "", ErrClosed
+	}
+	recs, next := f.tab.list(cursor, limit)
+	return recs, next, nil
+}
+
+// Delete removes the record under id, durably.
+func (f *File) Delete(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if _, ok := f.tab.recs[id]; !ok {
+		return nil
+	}
+	if err := f.append(walEntry{Delete: id}); err != nil {
+		return err
+	}
+	f.tab.delete(id)
+	_ = f.maybeCompactLocked() // durable already; see Put
+	return nil
+}
+
+// Len reports how many records are resident.
+func (f *File) Len() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	return len(f.tab.recs), nil
+}
+
+// Close compacts the store into its snapshot and releases the log file.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	err := f.compactLocked()
+	if cerr := f.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

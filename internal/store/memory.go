@@ -1,0 +1,140 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// table is the unsynchronized record index shared by the store
+// implementations: a map for lookups plus a sorted ID slice for ordered,
+// cursor-based listing. Callers synchronize.
+type table struct {
+	recs map[string]Record
+	ids  []string // sorted ascending
+}
+
+func newTable() *table {
+	return &table{recs: map[string]Record{}}
+}
+
+func (t *table) put(rec Record) {
+	if _, ok := t.recs[rec.ID]; !ok {
+		i := sort.SearchStrings(t.ids, rec.ID)
+		t.ids = append(t.ids, "")
+		copy(t.ids[i+1:], t.ids[i:])
+		t.ids[i] = rec.ID
+	}
+	t.recs[rec.ID] = rec
+}
+
+func (t *table) delete(id string) {
+	if _, ok := t.recs[id]; !ok {
+		return
+	}
+	delete(t.recs, id)
+	i := sort.SearchStrings(t.ids, id)
+	t.ids = append(t.ids[:i], t.ids[i+1:]...)
+}
+
+// list returns up to limit records with ID > cursor plus the next-page
+// cursor ("" when exhausted). limit <= 0 means no limit.
+func (t *table) list(cursor string, limit int) ([]Record, string) {
+	// First index strictly after the cursor.
+	start := sort.SearchStrings(t.ids, cursor)
+	if start < len(t.ids) && t.ids[start] == cursor {
+		start++
+	}
+	end := len(t.ids)
+	if limit > 0 && limit < end-start { // overflow-safe clamp: limit may be MaxInt
+		end = start + limit
+	}
+	out := make([]Record, 0, end-start)
+	for _, id := range t.ids[start:end] {
+		out = append(out, t.recs[id].cloneForList())
+	}
+	next := ""
+	if end < len(t.ids) && len(out) > 0 {
+		next = out[len(out)-1].ID
+	}
+	return out, next
+}
+
+// Memory is the in-memory Store: the record map the job manager kept
+// before the store extraction, now behind the Store interface. State is
+// lost when the process exits.
+type Memory struct {
+	mu     sync.Mutex
+	tab    *table
+	closed bool
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{tab: newTable()}
+}
+
+// Put inserts or overwrites rec under rec.ID.
+func (m *Memory) Put(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.tab.put(rec.Clone())
+	return nil
+}
+
+// Get returns the record under id and whether it exists.
+func (m *Memory) Get(id string) (Record, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Record{}, false, ErrClosed
+	}
+	rec, ok := m.tab.recs[id]
+	if !ok {
+		return Record{}, false, nil
+	}
+	return rec.Clone(), true, nil
+}
+
+// List pages through the records in ascending ID order.
+func (m *Memory) List(cursor string, limit int) ([]Record, string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, "", ErrClosed
+	}
+	recs, next := m.tab.list(cursor, limit)
+	return recs, next, nil
+}
+
+// Delete removes the record under id, if present.
+func (m *Memory) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.tab.delete(id)
+	return nil
+}
+
+// Len reports how many records are resident.
+func (m *Memory) Len() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	return len(m.tab.recs), nil
+}
+
+// Close marks the store closed; every later operation fails with
+// ErrClosed.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

@@ -1,0 +1,112 @@
+// Package store is the job persistence layer of the CVCP selection
+// service: a small key-value contract (Store) over serialized job records,
+// with cursor pagination, and two implementations —
+//
+//   - Memory: a map, for servers that accept losing state on restart;
+//   - File: an append-only JSONL write-ahead log plus periodic snapshot
+//     in a directory, so a server restarted with the same directory
+//     replays its finished jobs and re-queues the interrupted ones.
+//
+// The store is deliberately ignorant of what a job is. A Record carries
+// the fields every implementation needs for ordering and lifecycle
+// (ID, Status, timestamps) and treats the job's specification, dataset
+// payload and result as opaque JSON blobs supplied by the caller
+// (internal/server). That is the seam that keeps the job manager
+// storage-agnostic: swapping in a sharded or remote store is a new
+// implementation of this interface, not a manager rewrite.
+//
+// # Ordering and cursors
+//
+// List returns records in ascending ID order. IDs are expected to be
+// zero-padded so that lexicographic order equals submission order (the
+// server uses "job-000000042"). A cursor is simply the last ID of the
+// previous page: List(cursor, limit) returns records with ID > cursor.
+// The empty cursor starts from the beginning; an empty next cursor means
+// the listing is exhausted. Cursors stay valid across restarts and across
+// record deletions — a deleted record is skipped, never an error.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+)
+
+// ErrClosed is returned by every operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Record is one persisted job. Spec, Dataset and Result are opaque to the
+// store: the server serializes whatever it needs to rebuild a job into
+// them. Dataset is present only while a job might still run (the server
+// drops it from terminal records, so finished jobs do not hold their
+// input forever).
+type Record struct {
+	// ID is the unique, zero-padded job identifier; it defines the
+	// listing order.
+	ID string `json:"id"`
+	// Batch is the owning batch ID, empty for individually submitted
+	// jobs. Batch membership is rebuilt from this field on replay.
+	Batch string `json:"batch,omitempty"`
+	// Status is the job lifecycle state ("queued", "running", "done",
+	// "failed", "cancelled"). The store does not interpret it beyond
+	// handing it back.
+	Status   string    `json:"status"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Error is the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// Spec is the serialized job specification (algorithm, candidate
+	// parameters, folds, seed, supervision).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Dataset is the serialized input dataset, retained only for
+	// non-terminal records so an interrupted job can be re-queued.
+	Dataset json.RawMessage `json:"dataset,omitempty"`
+	// Result is the serialized selection outcome of a done job.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Clone returns a deep copy of the record (the RawMessage fields are
+// copied, so the caller may retain or mutate the original freely).
+func (r Record) Clone() Record {
+	c := r
+	c.Spec = append(json.RawMessage(nil), r.Spec...)
+	c.Dataset = append(json.RawMessage(nil), r.Dataset...)
+	c.Result = append(json.RawMessage(nil), r.Result...)
+	return c
+}
+
+// cloneForList is Clone minus the Dataset payload — List's contract.
+// Listings are hot and dataset payloads large; copying megabytes per page
+// only to render id/status/spec would dominate every listing request.
+func (r Record) cloneForList() Record {
+	c := r
+	c.Dataset = nil
+	c.Spec = append(json.RawMessage(nil), r.Spec...)
+	c.Result = append(json.RawMessage(nil), r.Result...)
+	return c
+}
+
+// Store persists job records. Implementations must be safe for concurrent
+// use. Put with an existing ID overwrites; Delete of a missing ID is a
+// no-op; Get reports presence through its second return value rather than
+// an error.
+type Store interface {
+	// Put inserts or overwrites the record under rec.ID.
+	Put(rec Record) error
+	// Get returns the record with the given ID, and whether it exists.
+	Get(id string) (Record, bool, error)
+	// List returns up to limit records with ID > cursor in ascending ID
+	// order, plus the cursor for the next page (empty when the listing
+	// is exhausted). limit <= 0 means no limit. Listed records omit the
+	// Dataset payload (use Get for the full record) — listings are hot
+	// and dataset payloads large.
+	List(cursor string, limit int) ([]Record, string, error)
+	// Delete removes the record under id, if present.
+	Delete(id string) error
+	// Len reports how many records are resident.
+	Len() (int, error)
+	// Close releases the store's resources; for durable stores it also
+	// compacts. Every later operation fails with ErrClosed.
+	Close() error
+}

@@ -1,0 +1,366 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// implementations returns a fresh instance of every Store implementation,
+// so the contract tests below run against all of them.
+func implementations(t *testing.T) map[string]Store {
+	t.Helper()
+	file, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"memory": NewMemory(), "file": file}
+}
+
+func rec(n int, status string) Record {
+	return Record{
+		ID:      fmt.Sprintf("job-%06d", n),
+		Status:  status,
+		Created: time.Date(2026, 7, 30, 12, 0, n, 0, time.UTC),
+		Spec:    json.RawMessage(fmt.Sprintf(`{"seed":%d}`, n)),
+	}
+}
+
+func TestStoreContract(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+
+			// Empty store.
+			if n, err := s.Len(); err != nil || n != 0 {
+				t.Fatalf("empty Len = %d, %v", n, err)
+			}
+			if _, ok, err := s.Get("job-000001"); err != nil || ok {
+				t.Fatalf("Get on empty store: ok=%v err=%v", ok, err)
+			}
+			recs, next, err := s.List("", 10)
+			if err != nil || len(recs) != 0 || next != "" {
+				t.Fatalf("List on empty store: %v, %q, %v", recs, next, err)
+			}
+
+			// Insert out of order; listing must come back sorted.
+			for _, n := range []int{3, 1, 2, 5, 4} {
+				if err := s.Put(rec(n, "queued")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n, _ := s.Len(); n != 5 {
+				t.Fatalf("Len = %d, want 5", n)
+			}
+			recs, next, err = s.List("", 0)
+			if err != nil || next != "" {
+				t.Fatalf("full List: next=%q err=%v", next, err)
+			}
+			for i, r := range recs {
+				if want := fmt.Sprintf("job-%06d", i+1); r.ID != want {
+					t.Fatalf("List[%d] = %s, want %s", i, r.ID, want)
+				}
+			}
+
+			// Overwrite updates in place.
+			up := rec(2, "done")
+			up.Result = json.RawMessage(`{"best_param":6}`)
+			if err := s.Put(up); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.Get("job-000002")
+			if err != nil || !ok || got.Status != "done" || string(got.Result) != `{"best_param":6}` {
+				t.Fatalf("after overwrite: %+v ok=%v err=%v", got, ok, err)
+			}
+			if n, _ := s.Len(); n != 5 {
+				t.Fatalf("Len after overwrite = %d, want 5", n)
+			}
+
+			// Cursor pagination walks every record exactly once, in order.
+			var walked []string
+			cursor := ""
+			for pages := 0; ; pages++ {
+				if pages > 5 {
+					t.Fatal("pagination never terminated")
+				}
+				recs, next, err := s.List(cursor, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range recs {
+					walked = append(walked, r.ID)
+				}
+				if next == "" {
+					break
+				}
+				cursor = next
+			}
+			if len(walked) != 5 {
+				t.Fatalf("pagination walked %d records: %v", len(walked), walked)
+			}
+			for i := 1; i < len(walked); i++ {
+				if walked[i] <= walked[i-1] {
+					t.Fatalf("pagination out of order: %v", walked)
+				}
+			}
+
+			// A cursor naming a deleted record still works: records after
+			// it are returned.
+			if err := s.Delete("job-000003"); err != nil {
+				t.Fatal(err)
+			}
+			recs, _, err = s.List("job-000003", 0)
+			if err != nil || len(recs) != 2 || recs[0].ID != "job-000004" {
+				t.Fatalf("List after deleted cursor: %+v err=%v", recs, err)
+			}
+			// Deleting a missing record is a no-op.
+			if err := s.Delete("job-009999"); err != nil {
+				t.Fatal(err)
+			}
+			if n, _ := s.Len(); n != 4 {
+				t.Fatalf("Len after delete = %d, want 4", n)
+			}
+
+			// Closed stores refuse everything.
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(rec(9, "queued")); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Put after Close = %v, want ErrClosed", err)
+			}
+			if _, _, err := s.List("", 0); !errors.Is(err, ErrClosed) {
+				t.Fatalf("List after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// Mutating a record after Put (or the slices returned by Get/List) must
+// not alter stored state.
+func TestStoreAliasing(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			r := rec(1, "queued")
+			if err := s.Put(r); err != nil {
+				t.Fatal(err)
+			}
+			r.Spec[1] = 'X' // corrupt the caller's copy
+			got, _, _ := s.Get(r.ID)
+			if string(got.Spec) != `{"seed":1}` {
+				t.Fatalf("stored spec aliased caller memory: %s", got.Spec)
+			}
+			got.Spec[1] = 'Y'
+			again, _, _ := s.Get(r.ID)
+			if string(again.Spec) != `{"seed":1}` {
+				t.Fatalf("Get returned aliased memory: %s", again.Spec)
+			}
+		})
+	}
+}
+
+// TestStoreConcurrency hammers a store from many goroutines; meaningful
+// under -race.
+func TestStoreConcurrency(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for k := 0; k < 20; k++ {
+						n := g*100 + k
+						if err := s.Put(rec(n, "queued")); err != nil {
+							t.Error(err)
+							return
+						}
+						s.Get(rec(n, "").ID)
+						s.List("", 5)
+						if k%3 == 0 {
+							s.Delete(rec(n, "").ID)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestFileStoreReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 3; n++ {
+		if err := s.Put(rec(n, "queued")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := rec(2, "done")
+	done.Result = json.RawMessage(`{"best_param":3}`)
+	if err := s.Put(done); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("job-000003"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n, _ := re.Len(); n != 2 {
+		t.Fatalf("reopened Len = %d, want 2", n)
+	}
+	got, ok, _ := re.Get("job-000002")
+	if !ok || got.Status != "done" || string(got.Result) != `{"best_param":3}` {
+		t.Fatalf("reopened record: %+v ok=%v", got, ok)
+	}
+	if _, ok, _ := re.Get("job-000003"); ok {
+		t.Fatal("deleted record resurrected by reopen")
+	}
+}
+
+// A huge limit (e.g. a client sending MaxInt) must page, not overflow
+// into a slice-bounds panic.
+func TestStoreHugeLimit(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			for n := 1; n <= 3; n++ {
+				if err := s.Put(rec(n, "queued")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			recs, next, err := s.List("job-000001", int(^uint(0)>>1))
+			if err != nil || len(recs) != 2 || next != "" {
+				t.Fatalf("MaxInt limit after cursor: %d records, next %q, err %v", len(recs), next, err)
+			}
+		})
+	}
+}
+
+// A crash mid-append leaves a torn final WAL line; Open must tolerate it
+// and keep every complete entry.
+func TestFileStoreTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 2; n++ {
+		if err := s.Put(rec(n, "running")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the crash: the process dies without Close, then the last
+	// line is torn.
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with torn WAL: %v", err)
+	}
+	if _, ok, _ := re.Get("job-000001"); !ok {
+		t.Fatal("complete entry lost")
+	}
+	if _, ok, _ := re.Get("job-000002"); ok {
+		t.Fatal("torn entry half-applied")
+	}
+
+	// Open must have trimmed the torn tail: appending new entries and
+	// reopening again must work (a torn line left in place would become
+	// fatal interior corruption once appended after).
+	if err := re.Put(rec(3, "queued")); err != nil {
+		t.Fatal(err)
+	}
+	// Skip Close (it compacts the WAL away); reopen over the live file.
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after post-tear appends: %v", err)
+	}
+	defer again.Close()
+	if _, ok, _ := again.Get("job-000003"); !ok {
+		t.Fatal("post-tear append lost")
+	}
+	re.Close()
+}
+
+// A corrupt line with more data after it means real damage: Open must
+// refuse rather than silently drop the tail.
+func TestFileStoreCorruptInteriorLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec(1, "queued")); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append([]byte("{broken\n"), data...)
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a corrupt interior WAL line")
+	}
+}
+
+// Compaction must fold the WAL into the snapshot without changing the
+// observable record set.
+func TestFileStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Overwrite a handful of records far more than compactMinWAL times:
+	// the log crosses the compaction threshold while few records are
+	// resident.
+	for i := 0; i < compactMinWAL+50; i++ {
+		if err := s.Put(rec(i%5, fmt.Sprintf("state-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	walLen := s.walLen
+	s.mu.Unlock()
+	if walLen >= compactMinWAL {
+		t.Fatalf("WAL never compacted: %d entries", walLen)
+	}
+	if n, _ := s.Len(); n != 5 {
+		t.Fatalf("Len after compaction = %d, want 5", n)
+	}
+	// The last write to job-000000 was the largest i with i%5 == 0.
+	lastI := (compactMinWAL + 49) / 5 * 5
+	got, ok, _ := s.Get("job-000000")
+	if !ok || got.Status != fmt.Sprintf("state-%d", lastI) {
+		t.Fatalf("latest overwrite lost by compaction: %+v", got)
+	}
+}
