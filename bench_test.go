@@ -8,6 +8,7 @@
 package cvcp_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -166,8 +167,12 @@ func BenchmarkCVCPSelectFOSC(b *testing.B) {
 	labeled := ds.SampleLabels(stats.NewRand(2), 0.1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := root.SelectWithLabels(root.FOSCOpticsDend{}, ds, labeled,
-			root.DefaultMinPtsRange, root.Options{Seed: int64(i), NFolds: 5}); err != nil {
+		if _, err := root.Select(context.Background(), root.Spec{
+			Dataset:     ds,
+			Grid:        root.Grid{{Algorithm: root.FOSCOpticsDend{}, Params: root.DefaultMinPtsRange}},
+			Supervision: root.Labels(labeled),
+			Options:     root.Options{Seed: int64(i), NFolds: 5},
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -178,8 +183,12 @@ func BenchmarkCVCPSelectMPCK(b *testing.B) {
 	labeled := ds.SampleLabels(stats.NewRand(2), 0.1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := root.SelectWithLabels(root.MPCKMeans{}, ds, labeled,
-			root.KRange(2, 9), root.Options{Seed: int64(i), NFolds: 5}); err != nil {
+		if _, err := root.Select(context.Background(), root.Spec{
+			Dataset:     ds,
+			Grid:        root.Grid{{Algorithm: root.MPCKMeans{}, Params: root.KRange(2, 9)}},
+			Supervision: root.Labels(labeled),
+			Options:     root.Options{Seed: int64(i), NFolds: 5},
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -202,8 +211,13 @@ func BenchmarkBootstrapSelect(b *testing.B) {
 	labeled := ds.SampleLabels(stats.NewRand(2), 0.2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := corecvcp.BootstrapWithLabels(corecvcp.MPCKMeans{}, ds, labeled,
-			[]int{3, 5, 7}, 5, corecvcp.Options{Seed: int64(i)}); err != nil {
+		if _, err := corecvcp.Select(context.Background(), corecvcp.Spec{
+			Dataset:     ds,
+			Grid:        corecvcp.Grid{{Algorithm: corecvcp.MPCKMeans{}, Params: []int{3, 5, 7}}},
+			Supervision: corecvcp.Labels(labeled),
+			Scorer:      corecvcp.Bootstrap{Rounds: 5},
+			Options:     corecvcp.Options{Seed: int64(i)},
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,8 +233,12 @@ func BenchmarkAblationFoldCount(b *testing.B) {
 	for _, folds := range []int{2, 5, 10} {
 		b.Run(fmt.Sprintf("folds%d", folds), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := root.SelectWithLabels(root.FOSCOpticsDend{}, ds, labeled,
-					root.DefaultMinPtsRange, root.Options{Seed: int64(i), NFolds: folds}); err != nil {
+				if _, err := root.Select(context.Background(), root.Spec{
+					Dataset:     ds,
+					Grid:        root.Grid{{Algorithm: root.FOSCOpticsDend{}, Params: root.DefaultMinPtsRange}},
+					Supervision: root.Labels(labeled),
+					Options:     root.Options{Seed: int64(i), NFolds: folds},
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -334,6 +352,21 @@ func legacyPerParamSelect(alg corecvcp.Algorithm, ds *dataset.Dataset, labeledId
 	return &corecvcp.Selection{Algorithm: alg.Name(), Best: best, Scores: scores, FinalLabels: finalLabels}, nil
 }
 
+// engineSelect is the engine-side selection BenchmarkEngineFoldParamGrid
+// measures: MPCK-Means parameter selection through the unified Select core.
+func engineSelect(ds *dataset.Dataset, labeled, params []int, opt corecvcp.Options) (*corecvcp.Selection, error) {
+	res, err := corecvcp.Select(context.Background(), corecvcp.Spec{
+		Dataset:     ds,
+		Grid:        corecvcp.Grid{{Algorithm: corecvcp.MPCKMeans{}, Params: params}},
+		Supervision: corecvcp.Labels(labeled),
+		Options:     opt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.PerCandidate[0], nil
+}
+
 // BenchmarkEngineFoldParamGrid compares the old per-parameter fan-out with
 // the fold×parameter engine on a grid shaped to expose the difference: two
 // candidate parameters of very different cost and eight folds. The legacy
@@ -352,8 +385,7 @@ func BenchmarkEngineFoldParamGrid(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	engine, err := corecvcp.SelectWithLabels(corecvcp.MPCKMeans{}, ds, labeled, params,
-		corecvcp.Options{Seed: seed, NFolds: nfolds, Workers: -1})
+	engine, err := engineSelect(ds, labeled, params, corecvcp.Options{Seed: seed, NFolds: nfolds, Workers: -1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -386,8 +418,7 @@ func BenchmarkEngineFoldParamGrid(b *testing.B) {
 	})
 	b.Run("foldparam-engine", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := corecvcp.SelectWithLabels(corecvcp.MPCKMeans{}, ds, labeled, params,
-				corecvcp.Options{Seed: seed, NFolds: nfolds, Workers: -1}); err != nil {
+			if _, err := engineSelect(ds, labeled, params, corecvcp.Options{Seed: seed, NFolds: nfolds, Workers: -1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -403,8 +434,12 @@ func BenchmarkEngineWorkers(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := root.SelectWithLabels(root.FOSCOpticsDend{}, ds, labeled,
-					root.DefaultMinPtsRange, root.Options{Seed: 7, NFolds: 5, Workers: workers}); err != nil {
+				if _, err := root.Select(context.Background(), root.Spec{
+					Dataset:     ds,
+					Grid:        root.Grid{{Algorithm: root.FOSCOpticsDend{}, Params: root.DefaultMinPtsRange}},
+					Supervision: root.Labels(labeled),
+					Options:     root.Options{Seed: 7, NFolds: 5, Workers: workers},
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -418,18 +453,131 @@ func BenchmarkEngineWorkers(b *testing.B) {
 func BenchmarkAblationParallelSweep(b *testing.B) {
 	ds := datagen.ALOI(1, 1)[0]
 	labeled := ds.SampleLabels(stats.NewRand(2), 0.2)
-	for _, par := range []bool{false, true} {
+	for _, workers := range []int{1, -1} {
 		name := "serial"
-		if par {
+		if workers < 0 {
 			name = "parallel"
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := corecvcp.SelectWithLabels(corecvcp.MPCKMeans{}, ds, labeled,
-					[]int{2, 4, 6, 8}, corecvcp.Options{Seed: int64(i), NFolds: 3, Parallel: par}); err != nil {
+				if _, err := corecvcp.Select(context.Background(), corecvcp.Spec{
+					Dataset:     ds,
+					Grid:        corecvcp.Grid{{Algorithm: corecvcp.MPCKMeans{}, Params: []int{2, 4, 6, 8}}},
+					Supervision: corecvcp.Labels(labeled),
+					Options:     corecvcp.Options{Seed: int64(i), NFolds: 3, Workers: workers},
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+}
+
+// crossMethodGrid is the candidate grid of BenchmarkCrossMethodGrid: three
+// clustering paradigms with their own parameter ranges on one dataset.
+func crossMethodGrid() corecvcp.Grid {
+	return corecvcp.Grid{
+		{Algorithm: corecvcp.FOSCOpticsDend{}, Params: []int{3, 6, 9, 12}},
+		{Algorithm: corecvcp.MPCKMeans{}, Params: []int{3, 5, 7}},
+		{Algorithm: corecvcp.COPKMeans{}, Params: []int{3, 5, 7}},
+	}
+}
+
+// legacySequentialCrossMethod replicates the pre-redesign cross-method
+// selection: one full, independent selection per candidate, run back to
+// back — each candidate gets its own engine run, so the worker pool drains
+// to a barrier at every candidate boundary and no cells of different
+// candidates ever overlap. The unified grid removed exactly this structure;
+// the library itself no longer contains it.
+func legacySequentialCrossMethod(ds *dataset.Dataset, grid corecvcp.Grid, labeled []int, opt corecvcp.Options) (*corecvcp.Result, error) {
+	out := &corecvcp.Result{}
+	for _, cand := range grid {
+		res, err := corecvcp.Select(context.Background(), corecvcp.Spec{
+			Dataset:     ds,
+			Grid:        corecvcp.Grid{cand},
+			Supervision: corecvcp.Labels(labeled),
+			Options:     opt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sel := res.PerCandidate[0]
+		out.PerCandidate = append(out.PerCandidate, sel)
+		if out.Winner == nil || sel.Best.Score > out.Winner.Best.Score {
+			out.Winner = sel
+		}
+	}
+	return out, nil
+}
+
+// BenchmarkCrossMethodGrid measures the tentpole of the unified Select API:
+// cross-method selection as ONE shared (algorithm, parameter, fold) engine
+// run — one worker pool, one Limiter, one run cache across all candidates —
+// against the legacy sequential per-candidate loop. Bit-identity of the two
+// is asserted before timing: same winners, same per-fold scores to the last
+// bit, same final labelings.
+func BenchmarkCrossMethodGrid(b *testing.B) {
+	ds := datagen.ALOI(1, 1)[0]
+	labeled := ds.SampleLabels(stats.NewRand(2), 0.3)
+	opt := corecvcp.Options{Seed: 42, NFolds: 5, Workers: -1}
+	grid := crossMethodGrid()
+
+	legacy, err := legacySequentialCrossMethod(ds, grid, labeled, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unified, err := corecvcp.Select(context.Background(), corecvcp.Spec{
+		Dataset:     ds,
+		Grid:        grid,
+		Supervision: corecvcp.Labels(labeled),
+		Options:     opt,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(legacy.PerCandidate) != len(unified.PerCandidate) {
+		b.Fatalf("candidate counts differ: %d vs %d", len(legacy.PerCandidate), len(unified.PerCandidate))
+	}
+	for ci := range legacy.PerCandidate {
+		l, u := legacy.PerCandidate[ci], unified.PerCandidate[ci]
+		if l.Algorithm != u.Algorithm || l.Best.Param != u.Best.Param || l.Best.Score != u.Best.Score {
+			b.Fatalf("candidate %d: legacy (%s, %d, %v) vs unified (%s, %d, %v)",
+				ci, l.Algorithm, l.Best.Param, l.Best.Score, u.Algorithm, u.Best.Param, u.Best.Score)
+		}
+		for pi := range l.Scores {
+			for fi := range l.Scores[pi].FoldScores {
+				if l.Scores[pi].FoldScores[fi] != u.Scores[pi].FoldScores[fi] {
+					b.Fatalf("candidate %d param %d fold %d: scores differ", ci, l.Scores[pi].Param, fi)
+				}
+			}
+		}
+		for i := range l.FinalLabels {
+			if l.FinalLabels[i] != u.FinalLabels[i] {
+				b.Fatalf("candidate %d: final labels differ", ci)
+			}
+		}
+	}
+	if legacy.Winner.Algorithm != unified.Winner.Algorithm {
+		b.Fatalf("winners differ: %s vs %s", legacy.Winner.Algorithm, unified.Winner.Algorithm)
+	}
+
+	b.Run("percandidate-legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := legacySequentialCrossMethod(ds, grid, labeled, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharedgrid-unified", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := corecvcp.Select(context.Background(), corecvcp.Spec{
+				Dataset:     ds,
+				Grid:        grid,
+				Supervision: corecvcp.Labels(labeled),
+				Options:     opt,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

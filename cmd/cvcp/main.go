@@ -1,4 +1,5 @@
-// Command cvcp runs CVCP model selection on a CSV dataset.
+// Command cvcp runs CVCP model selection on a CSV dataset through the
+// library's unified Select(ctx, Spec) API.
 //
 // Scenario I — the CSV carries labels in its last column and a fraction of
 // them is used as supervision:
@@ -10,9 +11,18 @@
 //
 //	cvcp -data mydata.csv -algo mpck -constraints cons.txt -kmin 2 -kmax 10
 //
-// The tool prints the per-parameter CVCP scores, the selected parameter and
-// the final cluster assignment (one "object cluster" line per object; -1 is
-// noise).
+// Cross-method selection — a comma-separated -algo list puts every method
+// into one shared selection grid and the best method+parameter wins:
+//
+//	cvcp -data mydata.csv -labeled -algo fosc,mpck,copk
+//
+// The -scorer flag swaps the scoring strategy: cv (default), bootstrap, or
+// a relative validity index (silhouette, davies-bouldin, calinski-harabasz,
+// dunn).
+//
+// The tool prints the per-parameter scores of every candidate, the selected
+// method and parameter, and the final cluster assignment (one
+// "object cluster" line per object; -1 is noise).
 package main
 
 import (
@@ -31,14 +41,16 @@ func main() {
 	var (
 		data     = flag.String("data", "", "CSV dataset path (required)")
 		labeled  = flag.Bool("labeled", false, "last CSV column is an integer class label")
-		algo     = flag.String("algo", "fosc", "algorithm: fosc (MinPts selection) or mpck (k selection)")
+		algo     = flag.String("algo", "fosc", "comma-separated candidate algorithms: fosc (MinPts selection), mpck and/or copk (k selection)")
+		scorer   = flag.String("scorer", "cv", "scoring strategy: cv, bootstrap, or a validity index (silhouette, davies-bouldin, calinski-harabasz, dunn)")
+		rounds   = flag.Int("rounds", 0, "bootstrap rounds when -scorer bootstrap (0 = default 10)")
 		consPath = flag.String("constraints", "", "constraint file for Scenario II")
 		frac     = flag.Float64("labelfrac", 0.10, "fraction of labels used as supervision in Scenario I")
-		kmin     = flag.Int("kmin", 2, "smallest k candidate (mpck)")
-		kmax     = flag.Int("kmax", 10, "largest k candidate (mpck)")
+		kmin     = flag.Int("kmin", 2, "smallest k candidate (mpck/copk)")
+		kmax     = flag.Int("kmax", 10, "largest k candidate (mpck/copk)")
 		folds    = flag.Int("folds", 10, "cross-validation folds")
 		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", -1, "concurrent fold×parameter tasks (-1 = one per CPU, 1 = serial; results are identical either way)")
+		workers  = flag.Int("workers", -1, "concurrent grid tasks (-1 = one per CPU, 1 = serial; results are identical either way)")
 		progress = flag.Bool("progress", false, "report grid progress on stderr")
 		quiet    = flag.Bool("quiet", false, "suppress the per-object assignment output")
 	)
@@ -46,6 +58,16 @@ func main() {
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Mirror the server's strict option handling: an option that the
+	// chosen scorer would silently ignore is an error, not a no-op.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["folds"] && *scorer != "cv" {
+		fatal(fmt.Errorf("-folds applies only to the cross-validation scorer (-scorer cv)"))
+	}
+	if explicit["rounds"] && *scorer != "bootstrap" {
+		fatal(fmt.Errorf("-rounds requires -scorer bootstrap"))
 	}
 
 	// Ctrl-C abandons the selection mid-grid instead of waiting it out.
@@ -57,63 +79,84 @@ func main() {
 		fatal(err)
 	}
 
-	var alg root.Algorithm
-	var params []int
-	switch *algo {
-	case "fosc":
-		alg = root.FOSCOpticsDend{}
-		params = root.DefaultMinPtsRange
-	case "mpck":
-		alg = root.MPCKMeans{}
-		params = root.KRange(*kmin, *kmax)
-	default:
-		fatal(fmt.Errorf("unknown -algo %q (want fosc or mpck)", *algo))
-	}
-
-	opt := root.Options{NFolds: *folds, Seed: *seed, Workers: *workers, Context: ctx}
-	if *progress {
-		opt.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rcvcp: %d/%d fold×parameter tasks", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
+	var grid root.Grid
+	seen := map[string]bool{}
+	for _, name := range strings.Split(*algo, ",") {
+		name = strings.TrimSpace(name)
+		if seen[name] {
+			fatal(fmt.Errorf("duplicate algorithm %q in -algo", name))
+		}
+		seen[name] = true
+		switch name {
+		case "fosc":
+			grid = append(grid, root.Candidate{Algorithm: root.FOSCOpticsDend{}, Params: root.DefaultMinPtsRange})
+		case "mpck":
+			grid = append(grid, root.Candidate{Algorithm: root.MPCKMeans{}, Params: root.KRange(*kmin, *kmax)})
+		case "copk":
+			grid = append(grid, root.Candidate{Algorithm: root.COPKMeans{}, Params: root.KRange(*kmin, *kmax)})
+		default:
+			fatal(fmt.Errorf("unknown -algo %q (want fosc, mpck or copk)", name))
 		}
 	}
-	var sel *root.Selection
+
+	var sup root.Supervision
 	switch {
 	case *consPath != "":
 		cons, err := loadConstraints(*consPath)
 		if err != nil {
 			fatal(err)
 		}
-		sel, err = root.SelectWithConstraints(alg, ds, cons, params, opt)
-		if err != nil {
-			fatal(err)
-		}
+		sup = root.ConstraintSet(cons)
 	case *labeled:
 		r := root.NewRand(*seed)
-		idx := ds.SampleLabels(r, *frac)
-		sel, err = root.SelectWithLabels(alg, ds, idx, params, opt)
-		if err != nil {
-			fatal(err)
-		}
+		sup = root.Labels(ds.SampleLabels(r, *frac))
 	default:
 		fatal(fmt.Errorf("need either -labeled (Scenario I) or -constraints FILE (Scenario II)"))
 	}
 
-	fmt.Printf("algorithm: %s\n", sel.Algorithm)
-	fmt.Println("parameter scores (cross-validated constraint F-measure):")
-	for _, ps := range sel.Scores {
-		marker := " "
-		if ps.Param == sel.Best.Param {
-			marker = "*"
-		}
-		fmt.Printf(" %s param=%-4d score=%.4f\n", marker, ps.Param, ps.Score)
+	strategy, err := root.ScorerByName(*scorer, *rounds)
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Printf("selected parameter: %d\n", sel.Best.Param)
+
+	opt := root.Options{NFolds: *folds, Seed: *seed, Workers: *workers}
+	if *progress {
+		opt.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcvcp: %d/%d grid tasks", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res, err := root.Select(ctx, root.Spec{
+		Dataset:     ds,
+		Grid:        grid,
+		Supervision: sup,
+		Scorer:      strategy,
+		Options:     opt,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, sel := range res.PerCandidate {
+		fmt.Printf("algorithm: %s\n", sel.Algorithm)
+		fmt.Println("parameter scores:")
+		for _, ps := range sel.Scores {
+			marker := " "
+			if ps.Param == sel.Best.Param {
+				marker = "*"
+			}
+			fmt.Printf(" %s param=%-4d score=%.4f\n", marker, ps.Param, ps.Score)
+		}
+	}
+	if len(res.PerCandidate) > 1 {
+		fmt.Printf("selected algorithm: %s\n", res.Winner.Algorithm)
+	}
+	fmt.Printf("selected parameter: %d\n", res.Winner.Best.Param)
 	if !*quiet {
 		fmt.Println("final assignment (object cluster):")
-		for i, l := range sel.FinalLabels {
+		for i, l := range res.Winner.FinalLabels {
 			fmt.Printf("%d %d\n", i, l)
 		}
 	}

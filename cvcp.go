@@ -9,37 +9,64 @@
 //
 // # Quick start
 //
+// Model selection is one call, Select(ctx, Spec): a Spec names the dataset,
+// a Grid of candidate (algorithm, parameter-range) pairs, the Supervision
+// (Scenario I labels or Scenario II constraints) and a Scorer strategy.
+//
 // Scenario I — the user can label a few objects:
 //
 //	ds, _ := cvcp.LoadCSV("mydata", "mydata.csv", true)
 //	labeled := ds.SampleLabels(rng, 0.10) // or indices the user labeled
-//	sel, _ := cvcp.SelectWithLabels(cvcp.FOSCOpticsDend{}, ds, labeled,
-//		cvcp.DefaultMinPtsRange, cvcp.Options{Seed: 1})
-//	fmt.Println("best MinPts:", sel.Best.Param)
-//	use(sel.FinalLabels)
+//	res, _ := cvcp.Select(ctx, cvcp.Spec{
+//		Dataset:     ds,
+//		Grid:        cvcp.Grid{{Algorithm: cvcp.FOSCOpticsDend{}, Params: cvcp.DefaultMinPtsRange}},
+//		Supervision: cvcp.Labels(labeled),
+//		Options:     cvcp.Options{Seed: 1},
+//	})
+//	fmt.Println("best MinPts:", res.Winner.Best.Param)
+//	use(res.Winner.FinalLabels)
 //
 // Scenario II — the user has must-link / cannot-link constraints:
 //
 //	cons := cvcp.NewConstraints()
 //	cons.Add(3, 17, true)  // must-link
 //	cons.Add(3, 42, false) // cannot-link
-//	sel, _ := cvcp.SelectWithConstraints(cvcp.MPCKMeans{}, ds, cons,
-//		cvcp.KRange(2, 10), cvcp.Options{Seed: 1})
+//	res, _ := cvcp.Select(ctx, cvcp.Spec{
+//		Dataset:     ds,
+//		Grid:        cvcp.Grid{{Algorithm: cvcp.MPCKMeans{}, Params: cvcp.KRange(2, 10)}},
+//		Supervision: cvcp.ConstraintSet(cons),
+//		Options:     cvcp.Options{Seed: 1},
+//	})
+//
+// Everything composes along three orthogonal axes:
+//
+//   - Grid — one candidate is parameter selection; several candidates are
+//     cross-method selection (the whole grid runs as one engine dispatch,
+//     sharing one worker pool, one Limiter and one run cache);
+//   - Supervision — Labels(idx) or ConstraintSet(cons);
+//   - Scorer — nil/CrossValidation{} (the paper's CVCP criterion),
+//     Bootstrap{Rounds: n} (resampling), or Validity{Index: vi} (the
+//     classical unsupervised baselines).
+//
+// The historical entry points (SelectWithLabels, SelectWithConstraints,
+// SelectAlgorithmWith*, BootstrapWithLabels, SelectByValidityIndex,
+// SelectBySilhouette) remain as thin deprecated wrappers over Select and
+// return bit-identical results.
 //
 // The examples/ directory contains complete runnable programs, and
 // cmd/experiments regenerates every table and figure of the paper.
 //
 // # Concurrency
 //
-// The cross-validation grid — every (candidate parameter, fold) pair — is
+// The scoring grid — every (candidate, parameter, fold) cell — is
 // scheduled onto a bounded worker pool, controlled by four Options fields:
 //
 //   - Workers bounds this selection's concurrency (0 = serial, -1 = one
 //     worker per CPU, any positive value an explicit bound);
-//   - Context cancels a selection mid-grid (the selection returns the
-//     context's error);
+//   - Context cancels a selection mid-grid (the ctx argument of Select
+//     supersedes it when non-nil);
 //   - Progress observes completion: it is called after every finished
-//     fold×parameter task with (done, total), serialized and monotone;
+//     grid task with (done, total), serialized and monotone;
 //   - Limiter, when non-nil, draws every task's execution slot from a
 //     budget shared with other selections — multi-tenant callers (e.g.
 //     the cvcpd server) bound machine-wide load with one Limiter while
@@ -50,13 +77,16 @@
 // Selections are bit-identical for every Workers value and Limiter
 // budget: per-task seeds derive from grid position, never from scheduling
 // order, every task writes only its own result slot, and error reporting
-// picks the lowest-indexed failure. Expensive intermediates that depend
-// only on the dataset (pairwise distances, OPTICS orderings per MinPts)
-// are shared across folds, parameters and the final clustering through a
-// single-flight cache, which changes cost, never results.
+// picks the lowest-indexed failure. A multi-candidate Select is
+// bit-identical to selecting each candidate alone. Expensive intermediates
+// that depend only on the dataset (pairwise distances, OPTICS orderings per
+// MinPts) are shared across folds, parameters, candidates and the final
+// clustering through a single-flight cache, which changes cost, never
+// results.
 package cvcp
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -85,16 +115,79 @@ type Algorithm = corecvcp.Algorithm
 // Options configures a model-selection run.
 type Options = corecvcp.Options
 
+// Spec is the declarative description of one model selection: dataset,
+// candidate Grid, Supervision and Scorer. See Select.
+type Spec = corecvcp.Spec
+
+// Grid is the candidate set of one selection; each entry pairs an algorithm
+// with its parameter range.
+type Grid = corecvcp.Grid
+
+// Result is the outcome of a unified selection: every candidate's Selection
+// plus the overall winner.
+type Result = corecvcp.Result
+
+// Supervision is the partial ground truth driving a selection; Labels and
+// ConstraintSet are the two scenarios.
+type Supervision = corecvcp.Supervision
+
+// Fold is one train/test split of supervision in constraint form, as
+// produced by a Supervision for the partition-based scorers.
+type Fold = corecvcp.Fold
+
+// Scorer is the pluggable scoring strategy of a selection; CrossValidation,
+// Bootstrap and Validity are the built-in implementations.
+type Scorer = corecvcp.Scorer
+
+// CrossValidation scores candidates by n-fold cross-validation — the
+// paper's CVCP criterion and the default Scorer.
+type CrossValidation = corecvcp.CrossValidation
+
+// Bootstrap scores candidates by bootstrap resampling (out-of-bag testing)
+// instead of cross-validation.
+type Bootstrap = corecvcp.Bootstrap
+
+// Validity scores candidates by a relative clustering validity index — the
+// classical unsupervised model-selection baseline.
+type Validity = corecvcp.Validity
+
+// ScorerByName maps a scoring-strategy name ("cv", "bootstrap", or a
+// validity index name) onto its Scorer implementation; every name-based
+// surface (cmd/cvcp -scorer, the cvcpd job spec) shares this mapping.
+func ScorerByName(name string, rounds int) (Scorer, error) {
+	return corecvcp.ScorerByName(name, rounds)
+}
+
+// ScorerNames returns every name ScorerByName accepts.
+func ScorerNames() []string { return corecvcp.ScorerNames() }
+
+// Select is the single entry point of the framework: it scores every
+// candidate of spec.Grid against spec.Supervision with spec.Scorer (nil
+// means CrossValidation{}) and returns the per-candidate selections plus
+// the overall winner. The whole workload dispatches through the execution
+// engine as one run; ctx cancels it mid-grid.
+func Select(ctx context.Context, spec Spec) (*Result, error) {
+	return corecvcp.Select(ctx, spec)
+}
+
+// Labels is Scenario I supervision: the objects at the given indices are
+// labeled (labels are read from the dataset's Y column).
+func Labels(idx []int) Supervision { return corecvcp.Labels(idx) }
+
+// ConstraintSet is Scenario II supervision: a set of pairwise must-link /
+// cannot-link constraints.
+func ConstraintSet(cons *Constraints) Supervision { return corecvcp.ConstraintSet(cons) }
+
 // Limiter is a global execution budget shared by several selections: when
-// set on Options.Limiter, the total number of fold×parameter tasks running
-// across all selections holding the same Limiter never exceeds its
-// capacity. cmd/cvcpd uses one Limiter as its server-wide worker budget.
+// set on Options.Limiter, the total number of grid tasks running across all
+// selections holding the same Limiter never exceeds its capacity.
+// cmd/cvcpd uses one Limiter as its server-wide worker budget.
 type Limiter = runner.Limiter
 
 // NewLimiter returns a Limiter with n execution slots (minimum 1).
 func NewLimiter(n int) *Limiter { return runner.NewLimiter(n) }
 
-// Selection is the outcome of a model-selection run.
+// Selection is the outcome of scoring one grid candidate.
 type Selection = corecvcp.Selection
 
 // ParamScore is the cross-validated quality of one candidate parameter.
@@ -111,11 +204,12 @@ type MPCKMeans = corecvcp.MPCKMeans
 // k) — the additional method the paper's future work calls for.
 type COPKMeans = corecvcp.COPKMeans
 
-// Candidate pairs an algorithm with its parameter range for cross-method
-// selection.
+// Candidate pairs an algorithm with its parameter range — one entry of a
+// Grid.
 type Candidate = corecvcp.Candidate
 
-// AlgorithmSelection is the outcome of a cross-method selection.
+// AlgorithmSelection is the outcome of a legacy cross-method selection; new
+// code reads Result instead.
 type AlgorithmSelection = corecvcp.AlgorithmSelection
 
 // DefaultMinPtsRange is the MinPts candidate range the paper uses for
@@ -159,13 +253,21 @@ func TransitiveClosure(s *Constraints) (*Constraints, error) {
 
 // SelectWithLabels runs CVCP in Scenario I: supervision is a set of labeled
 // objects (indices into ds; labels are read from ds.Y).
+//
+// Deprecated: use Select with Supervision: Labels(labeledIdx); this
+// compatibility shim returns bit-identical results.
 func SelectWithLabels(alg Algorithm, ds *Dataset, labeledIdx []int, params []int, opt Options) (*Selection, error) {
+	//lint:ignore SA1019 compatibility shim delegating to the deprecated core wrapper
 	return corecvcp.SelectWithLabels(alg, ds, labeledIdx, params, opt)
 }
 
 // SelectWithConstraints runs CVCP in Scenario II: supervision is a set of
 // pairwise constraints.
+//
+// Deprecated: use Select with Supervision: ConstraintSet(cons); this
+// compatibility shim returns bit-identical results.
 func SelectWithConstraints(alg Algorithm, ds *Dataset, cons *Constraints, params []int, opt Options) (*Selection, error) {
+	//lint:ignore SA1019 compatibility shim delegating to the deprecated core wrapper
 	return corecvcp.SelectWithConstraints(alg, ds, cons, params, opt)
 }
 
@@ -179,34 +281,55 @@ func ValidityIndices() []ValidityIndex { return corecvcp.ValidityIndices() }
 
 // SelectByValidityIndex picks the parameter whose full-supervision
 // clustering optimizes the given relative validity criterion.
+//
+// Deprecated: use Select with Scorer: Validity{Index: vi}; this
+// compatibility shim returns bit-identical results.
 func SelectByValidityIndex(alg Algorithm, ds *Dataset, full *Constraints, params []int, vi ValidityIndex, opt Options) (*Selection, error) {
+	//lint:ignore SA1019 compatibility shim delegating to the deprecated core wrapper
 	return corecvcp.SelectByValidityIndex(alg, ds, full, params, vi, opt)
 }
 
 // SelectBySilhouette is the classical unsupervised model-selection baseline:
 // pick the parameter whose full-supervision clustering maximizes the
 // Silhouette coefficient.
+//
+// Deprecated: use Select with Scorer: Validity over the silhouette index
+// from ValidityIndices(); this compatibility shim returns bit-identical
+// results.
 func SelectBySilhouette(alg Algorithm, ds *Dataset, full *Constraints, params []int, opt Options) (*Selection, error) {
+	//lint:ignore SA1019 compatibility shim delegating to the deprecated core wrapper
 	return corecvcp.SelectBySilhouette(alg, ds, full, params, opt)
 }
 
 // SelectAlgorithmWithLabels runs CVCP across several candidate algorithms
 // on the same Scenario I supervision and returns the best method+parameter
-// combination — the cross-paradigm extension of the paper's future work.
+// combination.
+//
+// Deprecated: use Select with a multi-candidate Grid; this compatibility
+// shim returns bit-identical results.
 func SelectAlgorithmWithLabels(cands []Candidate, ds *Dataset, labeledIdx []int, opt Options) (*AlgorithmSelection, error) {
+	//lint:ignore SA1019 compatibility shim delegating to the deprecated core wrapper
 	return corecvcp.SelectAlgorithmWithLabels(cands, ds, labeledIdx, opt)
 }
 
 // SelectAlgorithmWithConstraints is SelectAlgorithmWithLabels for
 // Scenario II supervision.
+//
+// Deprecated: use Select with a multi-candidate Grid; this compatibility
+// shim returns bit-identical results.
 func SelectAlgorithmWithConstraints(cands []Candidate, ds *Dataset, cons *Constraints, opt Options) (*AlgorithmSelection, error) {
+	//lint:ignore SA1019 compatibility shim delegating to the deprecated core wrapper
 	return corecvcp.SelectAlgorithmWithConstraints(cands, ds, cons, opt)
 }
 
 // BootstrapWithLabels scores parameters by bootstrap resampling instead of
 // cross-validation — the alternative partition-based evaluation mentioned
 // in the paper's Section 3.1.
+//
+// Deprecated: use Select with Scorer: Bootstrap{Rounds: rounds}; this
+// compatibility shim returns bit-identical results.
 func BootstrapWithLabels(alg Algorithm, ds *Dataset, labeledIdx []int, params []int, rounds int, opt Options) (*Selection, error) {
+	//lint:ignore SA1019 compatibility shim delegating to the deprecated core wrapper
 	return corecvcp.BootstrapWithLabels(alg, ds, labeledIdx, params, rounds, opt)
 }
 

@@ -1,6 +1,7 @@
 package cvcp_test
 
 import (
+	"context"
 	"testing"
 
 	root "cvcp"
@@ -8,18 +9,24 @@ import (
 )
 
 // TestEndToEndLabelScenario runs the full Scenario I pipeline on an
-// ALOI-like dataset and checks that CVCP's selection produces a clustering
-// at least as good as the worst parameter in the range — and, on this easy
-// planted structure, a genuinely good one.
+// ALOI-like dataset through the unified Select API and checks that the
+// selection produces a clustering at least as good as the worst parameter
+// in the range — and, on this easy planted structure, a genuinely good one.
 func TestEndToEndLabelScenario(t *testing.T) {
 	ds := datagen.ALOI(42, 1)[0]
 	r := root.NewRand(7)
 	labeled := ds.SampleLabels(r, 0.10)
 
-	sel, err := root.SelectWithLabels(root.FOSCOpticsDend{}, ds, labeled, root.DefaultMinPtsRange, root.Options{Seed: 3})
+	res, err := root.Select(context.Background(), root.Spec{
+		Dataset:     ds,
+		Grid:        root.Grid{{Algorithm: root.FOSCOpticsDend{}, Params: root.DefaultMinPtsRange}},
+		Supervision: root.Labels(labeled),
+		Options:     root.Options{Seed: 3},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	sel := res.Winner
 	if len(sel.Scores) != len(root.DefaultMinPtsRange) {
 		t.Fatalf("got %d scores, want %d", len(sel.Scores), len(root.DefaultMinPtsRange))
 	}
@@ -40,10 +47,16 @@ func TestEndToEndConstraintScenario(t *testing.T) {
 	pool := root.ConstraintPool(r, ds.Y, 0.10)
 	cons := root.SampleConstraints(r, pool, 0.5)
 
-	sel, err := root.SelectWithConstraints(root.MPCKMeans{}, ds, cons, root.KRange(2, 9), root.Options{Seed: 3})
+	res, err := root.Select(context.Background(), root.Spec{
+		Dataset:     ds,
+		Grid:        root.Grid{{Algorithm: root.MPCKMeans{}, Params: root.KRange(2, 9)}},
+		Supervision: root.ConstraintSet(cons),
+		Options:     root.Options{Seed: 3},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	sel := res.Winner
 	of := root.OverallF(sel.FinalLabels, ds.Y, nil)
 	t.Logf("MPCK best k=%d internal=%.3f overallF=%.3f curve=%v",
 		sel.Best.Param, sel.Best.Score, of, sel.ScoreCurve())
@@ -56,5 +69,39 @@ func TestEndToEndConstraintScenario(t *testing.T) {
 	}
 	if of < 0.6 {
 		t.Errorf("MPCKmeans with CVCP-selected k scored OverallF=%.3f, want >= 0.6", of)
+	}
+}
+
+// TestEndToEndCrossMethod selects across all three clustering paradigms in
+// one Spec: the grid runs as a single engine dispatch and the winner must
+// carry the best cross-validated score under the default scorer.
+func TestEndToEndCrossMethod(t *testing.T) {
+	ds := datagen.ALOI(42, 1)[0]
+	labeled := ds.SampleLabels(root.NewRand(7), 0.10)
+
+	res, err := root.Select(context.Background(), root.Spec{
+		Dataset: ds,
+		Grid: root.Grid{
+			{Algorithm: root.FOSCOpticsDend{}, Params: root.DefaultMinPtsRange},
+			{Algorithm: root.MPCKMeans{}, Params: root.KRange(2, 7)},
+			{Algorithm: root.COPKMeans{}, Params: root.KRange(2, 7)},
+		},
+		Supervision: root.Labels(labeled),
+		Options:     root.Options{Seed: 3, NFolds: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCandidate) != 3 {
+		t.Fatalf("got %d candidate selections, want 3", len(res.PerCandidate))
+	}
+	for _, sel := range res.PerCandidate {
+		if sel.Best.Score > res.Winner.Best.Score {
+			t.Errorf("winner %s (%.3f) beaten by %s (%.3f)",
+				res.Winner.Algorithm, res.Winner.Best.Score, sel.Algorithm, sel.Best.Score)
+		}
+		if len(sel.FinalLabels) != ds.N() {
+			t.Errorf("%s: %d final labels for %d objects", sel.Algorithm, len(sel.FinalLabels), ds.N())
+		}
 	}
 }

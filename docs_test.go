@@ -86,8 +86,36 @@ func docFiles(t *testing.T) []string {
 	return append(files, docs...)
 }
 
+// requiredAPIDocs maps documentation files to the API names they must
+// mention: the unified selection surface is the contract every doc is
+// organized around, so a rewrite that drops one of these names (or a
+// rename that leaves the docs behind) fails the build.
+var requiredAPIDocs = map[string][]string{
+	"README.md": {
+		"Select", "Spec", "Grid", "Supervision", "Scorer",
+		"Labels", "ConstraintSet", "CrossValidation", "Bootstrap", "Validity",
+	},
+	"docs/api.md": {
+		"algorithms", "scorer", "bootstrap_rounds", "candidates",
+	},
+	"docs/architecture.md": {
+		"Select", "Spec", "Grid", "Supervision", "Scorer",
+	},
+}
+
 func TestDocsReferences(t *testing.T) {
 	flags := declaredFlags(t)
+	for file, names := range requiredAPIDocs {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, name := range names {
+			if !strings.Contains(string(raw), name) {
+				t.Errorf("%s no longer mentions %q — update the docs for the current API", file, name)
+			}
+		}
+	}
 	for _, file := range docFiles(t) {
 		raw, err := os.ReadFile(file)
 		if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,11 +36,16 @@ func main() {
 	fmt.Printf("transitive closure: %d constraints (%d ML / %d CL)\n",
 		closed.Len(), closed.NumMustLink(), closed.NumCannotLink())
 
-	sel, err := cvcp.SelectWithConstraints(cvcp.MPCKMeans{}, ds, given,
-		cvcp.KRange(2, 9), cvcp.Options{Seed: 11})
+	res, err := cvcp.Select(context.Background(), cvcp.Spec{
+		Dataset:     ds,
+		Grid:        cvcp.Grid{{Algorithm: cvcp.MPCKMeans{}, Params: cvcp.KRange(2, 9)}},
+		Supervision: cvcp.ConstraintSet(given),
+		Options:     cvcp.Options{Seed: 11},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sel := res.Winner
 	fmt.Println("candidate scores:")
 	for _, ps := range sel.Scores {
 		fmt.Printf("  k=%d  score=%.3f\n", ps.Param, ps.Score)

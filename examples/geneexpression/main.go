@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +24,16 @@ func main() {
 		ds.Name, ds.N(), ds.Dims(), ds.NumClasses(), len(labeled))
 
 	run := func(name string, alg cvcp.Algorithm, params []int) float64 {
-		sel, err := cvcp.SelectWithLabels(alg, ds, labeled, params, cvcp.Options{Seed: 6})
+		res, err := cvcp.Select(context.Background(), cvcp.Spec{
+			Dataset:     ds,
+			Grid:        cvcp.Grid{{Algorithm: alg, Params: params}},
+			Supervision: cvcp.Labels(labeled),
+			Options:     cvcp.Options{Seed: 6},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		sel := res.Winner
 		of := cvcp.OverallF(sel.FinalLabels, ds.Y, nil)
 		fmt.Printf("%-16s selected=%d  internal=%.3f  external OverallF=%.3f\n",
 			name, sel.Best.Param, sel.Best.Score, of)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,11 +25,16 @@ func main() {
 	fmt.Printf("dataset %s: %d objects, %d attributes, %d classes, %d labeled\n",
 		ds.Name, ds.N(), ds.Dims(), ds.NumClasses(), len(labeled))
 
-	sel, err := cvcp.SelectWithLabels(cvcp.FOSCOpticsDend{}, ds, labeled,
-		cvcp.DefaultMinPtsRange, cvcp.Options{Seed: 99})
+	res, err := cvcp.Select(context.Background(), cvcp.Spec{
+		Dataset:     ds,
+		Grid:        cvcp.Grid{{Algorithm: cvcp.FOSCOpticsDend{}, Params: cvcp.DefaultMinPtsRange}},
+		Supervision: cvcp.Labels(labeled),
+		Options:     cvcp.Options{Seed: 99},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sel := res.Winner
 
 	// For the demo we also report the external quality of every candidate,
 	// evaluated only on the objects the user did not label — exactly the

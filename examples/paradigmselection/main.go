@@ -1,15 +1,17 @@
 // Paradigm selection: the paper's future work asks how CVCP "could be
 // extended to compare and select alternative clustering methods". This
-// example runs three semi-supervised methods — density-based
+// example puts three semi-supervised methods — density-based
 // FOSC-OPTICSDend, soft-constrained MPCK-Means and hard-constrained
-// COP-KMeans — through CVCP on the same supervision, each with its own
-// parameter range, and lets the cross-validated constraint F-measure choose
-// both the method and its parameter.
+// COP-KMeans — into one Spec grid on the same supervision, each with its
+// own parameter range. Select runs the whole (method, parameter, fold) grid
+// as one engine dispatch, and the cross-validated constraint F-measure
+// chooses both the method and its parameter.
 //
 //	go run ./examples/paradigmselection
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,18 +25,22 @@ func main() {
 	fmt.Printf("dataset %s: %d objects, %d classes, %d labeled\n\n",
 		ds.Name, ds.N(), ds.NumClasses(), len(labeled))
 
-	cands := []cvcp.Candidate{
-		{Algorithm: cvcp.FOSCOpticsDend{}, Params: cvcp.DefaultMinPtsRange},
-		{Algorithm: cvcp.MPCKMeans{}, Params: cvcp.KRange(2, 8)},
-		{Algorithm: cvcp.COPKMeans{}, Params: cvcp.KRange(2, 8)},
-	}
-	res, err := cvcp.SelectAlgorithmWithLabels(cands, ds, labeled, cvcp.Options{Seed: 9})
+	res, err := cvcp.Select(context.Background(), cvcp.Spec{
+		Dataset: ds,
+		Grid: cvcp.Grid{
+			{Algorithm: cvcp.FOSCOpticsDend{}, Params: cvcp.DefaultMinPtsRange},
+			{Algorithm: cvcp.MPCKMeans{}, Params: cvcp.KRange(2, 8)},
+			{Algorithm: cvcp.COPKMeans{}, Params: cvcp.KRange(2, 8)},
+		},
+		Supervision: cvcp.Labels(labeled),
+		Options:     cvcp.Options{Seed: 9},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("method               best param   internal score   external OverallF")
-	for _, sel := range res.PerMethod {
+	for _, sel := range res.PerCandidate {
 		marker := ""
 		if sel == res.Winner {
 			marker = "  <-- winner"

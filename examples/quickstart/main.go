@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -34,13 +35,20 @@ func main() {
 	// The user labeled 10% of the objects.
 	labeled := ds.SampleLabels(cvcp.NewRand(7), 0.10)
 
-	// CVCP: score every candidate k by cross-validated constraint
-	// classification, pick the best, cluster with all supervision.
-	sel, err := cvcp.SelectWithLabels(cvcp.MPCKMeans{}, ds, labeled,
-		cvcp.KRange(2, 8), cvcp.Options{Seed: 42})
+	// CVCP through the unified API: one Spec names the candidate grid, the
+	// supervision and (implicitly) the cross-validation scorer; Select
+	// scores every candidate k, picks the best and clusters with all
+	// supervision.
+	res, err := cvcp.Select(context.Background(), cvcp.Spec{
+		Dataset:     ds,
+		Grid:        cvcp.Grid{{Algorithm: cvcp.MPCKMeans{}, Params: cvcp.KRange(2, 8)}},
+		Supervision: cvcp.Labels(labeled),
+		Options:     cvcp.Options{Seed: 42},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sel := res.Winner
 
 	fmt.Println("candidate scores (cross-validated constraint F-measure):")
 	for _, ps := range sel.Scores {

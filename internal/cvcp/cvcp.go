@@ -2,27 +2,26 @@
 // for finding Clustering Parameters"), a model-selection framework for
 // semi-supervised clustering (Section 3 of the paper).
 //
-// Given a semi-supervised clustering algorithm with one open parameter, a
-// dataset, and partial supervision — labeled objects (Scenario I) or pairwise
-// constraints (Scenario II) — CVCP scores every candidate parameter value by
-// n-fold cross-validation: the partition produced from the training-side
-// supervision is treated as a binary classifier over the test fold's
-// constraints (must-link = class 1, cannot-link = class 0) and scored with
-// the average per-class F-measure. The parameter with the best average score
-// wins, and the final clustering is produced with all supervision.
+// The framework is one composable pipeline behind a single entry point,
+// Select(ctx, Spec): a Spec names the dataset, a Grid of (algorithm,
+// parameter-range) candidates, a Supervision (labeled objects — Scenario I —
+// or pairwise constraints — Scenario II) and a Scorer strategy
+// (cross-validation — the paper's CVCP criterion —, bootstrap resampling,
+// or a relative validity index). The scorer evaluates every candidate cell
+// through the execution engine as one run, picks each candidate's best
+// parameter, refits with all supervision, and the overall winner is the
+// cross-candidate best. The historical per-scenario entry points survive as
+// thin deprecated wrappers over Select.
 package cvcp
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sort"
 
 	"cvcp/internal/constraints"
 	"cvcp/internal/dataset"
-	"cvcp/internal/eval"
 	"cvcp/internal/runner"
-	"cvcp/internal/stats"
 )
 
 // Algorithm is a semi-supervised clustering algorithm with a single integer
@@ -37,38 +36,33 @@ type Algorithm interface {
 	Cluster(ds *dataset.Dataset, train *constraints.Set, param int, seed int64) ([]int, error)
 }
 
-// Options configures a CVCP run.
+// Options configures a selection run.
 type Options struct {
 	// NFolds is the number of cross-validation folds. 0 means 10 (the
 	// paper's typical n). When the supervision involves too few objects to
 	// give every fold at least two, the fold count is automatically lowered
 	// (never below 2).
 	NFolds int
-	// Seed drives fold construction and the per-fold algorithm seeds.
+	// Seed drives fold construction and the per-cell algorithm seeds.
 	Seed int64
-	// Workers bounds how many fold×parameter tasks the selection engine
-	// runs concurrently. 0 means serial unless Parallel is set; negative
-	// means one worker per CPU. Every task's seed derives from its grid
-	// position, so the result is bit-identical for every worker count.
+	// Workers bounds how many grid tasks the selection engine runs
+	// concurrently. 0 means serial; negative means one worker per CPU.
+	// Every task's seed derives from its grid position, so the result is
+	// bit-identical for every worker count.
 	Workers int
 	// Context cancels a selection mid-grid; the selection then returns the
-	// context's error. Nil means context.Background().
+	// context's error. Nil means context.Background(). The ctx argument of
+	// Select supersedes this field when non-nil.
 	Context context.Context
 	// Progress, when non-nil, observes grid completion: it is called after
-	// each finished fold×parameter task with (done, total). Calls are
-	// serialized.
+	// each finished grid task with (done, total). Calls are serialized.
 	Progress func(done, total int)
-	// Limiter, when non-nil, draws every fold×parameter task's execution
-	// slot from a budget shared with other selections: the total number of
-	// tasks executing across all selections holding the same Limiter never
+	// Limiter, when non-nil, draws every grid task's execution slot from a
+	// budget shared with other selections: the total number of tasks
+	// executing across all selections holding the same Limiter never
 	// exceeds its capacity. Multi-tenant callers (e.g. a selection server)
 	// use this to bound machine load globally instead of per selection.
 	Limiter *runner.Limiter
-	// Parallel evaluates the grid with one worker per CPU.
-	//
-	// Deprecated: set Workers instead; Parallel is kept so existing
-	// callers keep their concurrency and is ignored when Workers is set.
-	Parallel bool
 }
 
 func (o Options) nFolds() int {
@@ -83,7 +77,7 @@ func (o Options) workers() int {
 	switch {
 	case o.Workers > 0:
 		return o.Workers
-	case o.Workers < 0 || o.Parallel:
+	case o.Workers < 0:
 		return runtime.GOMAXPROCS(0)
 	default:
 		return 1
@@ -102,12 +96,12 @@ type ParamScore struct {
 	FoldScores []float64 // average constraint F-measure per test fold
 }
 
-// Selection is the outcome of a CVCP model-selection run.
+// Selection is the outcome of scoring one grid candidate.
 type Selection struct {
 	Algorithm string
 	Best      ParamScore
-	// Scores holds every candidate's result, in the order the candidates
-	// were given.
+	// Scores holds every candidate parameter's result, in the order the
+	// parameters were given.
 	Scores []ParamScore
 	// FinalLabels is the clustering of the full dataset with the selected
 	// parameter using all available supervision (step 4 of the framework).
@@ -125,153 +119,51 @@ func (s *Selection) ScoreCurve() []float64 {
 }
 
 // SelectWithLabels runs CVCP in Scenario I (§3.1.1): the supervision is the
-// set of labeled objects labeledIdx (their labels are read from ds.Y). The
-// labeled objects are partitioned into folds; constraints are derived
-// independently inside the training side and the test side of each fold.
+// set of labeled objects labeledIdx (their labels are read from ds.Y).
+//
+// Deprecated: use Select with Spec{Grid: Grid{{alg, params}},
+// Supervision: Labels(labeledIdx)}; this wrapper remains for compatibility
+// and returns bit-identical results.
 func SelectWithLabels(alg Algorithm, ds *dataset.Dataset, labeledIdx []int, params []int, opt Options) (*Selection, error) {
-	if err := checkArgs(alg, ds, params); err != nil {
-		return nil, err
-	}
-	if !ds.Labeled() {
-		return nil, fmt.Errorf("cvcp: Scenario I requires a labeled dataset")
-	}
-	if len(labeledIdx) < 4 {
-		return nil, fmt.Errorf("cvcp: need at least 4 labeled objects, got %d", len(labeledIdx))
-	}
-	n := constraints.AdaptFolds(opt.nFolds(), len(labeledIdx))
-	r := stats.NewRand(opt.Seed)
-	folds, err := constraints.SplitLabels(r, labeledIdx, n)
-	if err != nil {
-		return nil, err
-	}
-	fs := make([]cvFold, len(folds))
-	for i, f := range folds {
-		fs[i] = cvFold{
-			train: constraints.FromLabels(f.TrainIdx, ds.Y),
-			test:  constraints.FromLabels(f.TestIdx, ds.Y),
-		}
-	}
-	full := constraints.FromLabels(labeledIdx, ds.Y)
-	return run(alg, ds, params, opt, fs, full)
+	return selectOne(Spec{
+		Dataset:     ds,
+		Grid:        Grid{{Algorithm: alg, Params: params}},
+		Supervision: Labels(labeledIdx),
+		Options:     opt,
+	})
 }
 
 // SelectWithConstraints runs CVCP in Scenario II (§3.1.2): the supervision
-// is a set of pairwise constraints. The constraint graph is transitively
-// closed, the involved objects are partitioned into folds, and constraints
-// crossing the train/test boundary are removed, guaranteeing test
-// independence.
+// is a set of pairwise constraints.
+//
+// Deprecated: use Select with Spec{Grid: Grid{{alg, params}},
+// Supervision: ConstraintSet(cons)}; this wrapper remains for compatibility
+// and returns bit-identical results.
 func SelectWithConstraints(alg Algorithm, ds *dataset.Dataset, cons *constraints.Set, params []int, opt Options) (*Selection, error) {
-	if err := checkArgs(alg, ds, params); err != nil {
-		return nil, err
-	}
-	if cons == nil || cons.Len() == 0 {
-		return nil, fmt.Errorf("cvcp: Scenario II requires a non-empty constraint set")
-	}
-	closed, err := constraints.Closure(cons)
-	if err != nil {
-		return nil, err
-	}
-	n := constraints.AdaptFolds(opt.nFolds(), len(closed.Involved()))
-	r := stats.NewRand(opt.Seed)
-	cfolds, err := constraints.SplitConstraints(r, cons, n)
-	if err != nil {
-		return nil, err
-	}
-	fs := make([]cvFold, len(cfolds))
-	for i, f := range cfolds {
-		fs[i] = cvFold{train: f.Train, test: f.Test}
-	}
-	return run(alg, ds, params, opt, fs, closed)
-}
-
-func checkArgs(alg Algorithm, ds *dataset.Dataset, params []int) error {
-	if alg == nil {
-		return fmt.Errorf("cvcp: nil algorithm")
-	}
-	if ds == nil || ds.N() == 0 {
-		return fmt.Errorf("cvcp: empty dataset")
-	}
-	if len(params) == 0 {
-		return fmt.Errorf("cvcp: empty parameter range")
-	}
-	return nil
-}
-
-// cvFold is one train/test split of supervision, already in constraint form.
-type cvFold struct{ train, test *constraints.Set }
-
-// run scores every candidate parameter by cross-validation, dispatching the
-// full fold×parameter grid through the execution engine: each (parameter,
-// fold) pair is one independent task whose seed derives from its grid
-// position, so the scores — and hence the selection — are bit-identical for
-// any worker count, including fully serial.
-func run(alg Algorithm, ds *dataset.Dataset, params []int, opt Options,
-	folds []cvFold, full *constraints.Set) (*Selection, error) {
-
-	scores := make([]ParamScore, len(params))
-	for pi, p := range params {
-		scores[pi] = ParamScore{Param: p, FoldScores: make([]float64, len(folds))}
-	}
-	err := runner.Grid(opt.engineOptions(), len(params), len(folds),
-		func(_ context.Context, pi, fi int) error {
-			seed := stats.SplitSeed(opt.Seed, pi*len(folds)+fi+1)
-			labels, err := alg.Cluster(ds, folds[fi].train, params[pi], seed)
-			if err != nil {
-				return fmt.Errorf("cvcp: %s with parameter %d: %w", alg.Name(), params[pi], err)
-			}
-			scores[pi].FoldScores[fi] = eval.ConstraintF(labels, folds[fi].test)
-			return nil
-		})
-	if err != nil {
-		return nil, err
-	}
-	for pi := range scores {
-		scores[pi].Score = stats.Mean(scores[pi].FoldScores)
-	}
-
-	best := scores[0]
-	for _, ps := range scores[1:] {
-		if ps.Score > best.Score {
-			best = ps
-		}
-	}
-	// The final clustering dispatches through the engine too, as a
-	// single-task run: it draws a slot from a shared Limiter (so a
-	// multi-selection server stays within its global budget during this
-	// phase) and observes cancellation like any grid task.
-	var finalLabels []int
-	err = runner.Run(runner.Options{Workers: 1, Context: opt.Context, Limiter: opt.Limiter},
-		[]runner.Task{func(context.Context) error {
-			var cerr error
-			finalLabels, cerr = alg.Cluster(ds, full, best.Param, stats.SplitSeed(opt.Seed, 0))
-			return cerr
-		}})
-	if err != nil {
-		if opt.Context != nil && opt.Context.Err() != nil {
-			return nil, opt.Context.Err()
-		}
-		return nil, fmt.Errorf("cvcp: final clustering: %w", err)
-	}
-	return &Selection{
-		Algorithm:   alg.Name(),
-		Best:        best,
-		Scores:      scores,
-		FinalLabels: finalLabels,
-	}, nil
+	return selectOne(Spec{
+		Dataset:     ds,
+		Grid:        Grid{{Algorithm: alg, Params: params}},
+		Supervision: ConstraintSet(cons),
+		Options:     opt,
+	})
 }
 
 // SelectBySilhouette is the classical unsupervised model-selection baseline
-// the paper compares against for MPCKmeans (§4.3): every candidate parameter
-// clusters the data with the full supervision, the Silhouette coefficient of
-// each partition is computed, and the best-scoring parameter wins. It is
-// SelectByValidityIndex with the Silhouette criterion, so the parameter
-// sweep dispatches through the selection engine.
+// the paper compares against for MPCKmeans (§4.3).
+//
+// Deprecated: use Select with Scorer: Validity{Index: silhouette}; this
+// wrapper remains for compatibility and returns bit-identical results.
 func SelectBySilhouette(alg Algorithm, ds *dataset.Dataset, full *constraints.Set, params []int, opt Options) (*Selection, error) {
-	return SelectByValidityIndex(alg, ds, full, params, ValidityIndex{
-		Name:   "silhouette",
-		Score:  eval.Silhouette,
-		Better: func(a, b float64) bool { return a > b },
-	}, opt)
+	return SelectByValidityIndex(alg, ds, full, params, silhouetteIndex(), opt)
+}
+
+// selectOne runs a single-candidate Spec and unwraps the lone selection.
+func selectOne(spec Spec) (*Selection, error) {
+	res, err := Select(spec.Options.Context, spec)
+	if err != nil {
+		return nil, err
+	}
+	return res.PerCandidate[0], nil
 }
 
 // SortScores returns a copy of scores ordered by decreasing Score (ties by

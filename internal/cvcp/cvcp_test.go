@@ -116,7 +116,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := SelectWithLabels(MPCKMeans{}, ds, labeled, params, Options{Seed: 12, Parallel: true})
+	parallel, err := SelectWithLabels(MPCKMeans{}, ds, labeled, params, Options{Seed: 12, Workers: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,7 +75,7 @@ func TestWorkersGolden(t *testing.T) {
 }
 
 // The engine must also be invariant to odd worker counts that do not divide
-// the grid, and to the deprecated Parallel flag.
+// the grid.
 func TestWorkerCountInvariance(t *testing.T) {
 	ds := blobsDataset(24, 3, 15, 12)
 	labeled := ds.SampleLabels(stats.NewRand(25), 0.3)
@@ -86,15 +86,15 @@ func TestWorkerCountInvariance(t *testing.T) {
 	}
 	for _, opt := range []Options{
 		{Seed: 26, Workers: 3},
+		{Seed: 26, Workers: 7},
 		{Seed: 26, Workers: 64},
 		{Seed: 26, Workers: -1},
-		{Seed: 26, Parallel: true},
 	} {
 		got, err := SelectWithLabels(MPCKMeans{}, ds, labeled, params, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		equalSelection(t, base, got, fmt.Sprintf("workers=%d parallel=%v", opt.Workers, opt.Parallel))
+		equalSelection(t, base, got, fmt.Sprintf("workers=%d", opt.Workers))
 	}
 }
 

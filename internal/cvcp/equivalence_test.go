@@ -1,0 +1,230 @@
+package cvcp
+
+import (
+	"context"
+	"testing"
+
+	"cvcp/internal/constraints"
+	"cvcp/internal/stats"
+)
+
+// Golden API-equivalence tests: every legacy entry point must return a
+// Selection bit-identical to its Select(ctx, Spec) equivalent — same
+// per-fold scores to the last bit, same winner, same final labeling — at
+// Workers=1 and Workers=8. This pins the wrapper→Spec mapping (supervision,
+// scorer, grid, seeds) so the compatibility shims can never drift from the
+// unified core.
+
+// equivalenceWorkers are the worker counts every equivalence case runs at.
+var equivalenceWorkers = []int{1, 8}
+
+func TestSelectWithLabelsEquivalence(t *testing.T) {
+	ds := blobsDataset(81, 3, 20, 15)
+	labeled := ds.SampleLabels(stats.NewRand(82), 0.3)
+	params := []int{2, 3, 4, 5}
+	for _, w := range equivalenceWorkers {
+		opt := Options{Seed: 83, NFolds: 4, Workers: w}
+		legacy, err := SelectWithLabels(MPCKMeans{}, ds, labeled, params, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Select(context.Background(), Spec{
+			Dataset:     ds,
+			Grid:        Grid{{Algorithm: MPCKMeans{}, Params: params}},
+			Supervision: Labels(labeled),
+			Scorer:      CrossValidation{},
+			Options:     opt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalSelection(t, legacy, res.PerCandidate[0], "SelectWithLabels vs Spec")
+		equalSelection(t, legacy, res.Winner, "SelectWithLabels vs Spec winner")
+	}
+}
+
+func TestSelectWithConstraintsEquivalence(t *testing.T) {
+	ds := blobsDataset(84, 4, 15, 15)
+	r := stats.NewRand(85)
+	cons := constraints.Sample(r, constraints.Pool(r, ds.Y, 0.3), 0.5)
+	params := []int{3, 6, 9}
+	for _, w := range equivalenceWorkers {
+		opt := Options{Seed: 86, NFolds: 4, Workers: w}
+		legacy, err := SelectWithConstraints(FOSCOpticsDend{}, ds, cons, params, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Select(context.Background(), Spec{
+			Dataset:     ds,
+			Grid:        Grid{{Algorithm: FOSCOpticsDend{}, Params: params}},
+			Supervision: ConstraintSet(cons),
+			Options:     opt, // nil Scorer defaults to CrossValidation
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalSelection(t, legacy, res.PerCandidate[0], "SelectWithConstraints vs Spec")
+	}
+}
+
+func TestBootstrapWithLabelsEquivalence(t *testing.T) {
+	ds := blobsDataset(87, 3, 18, 14)
+	labeled := ds.SampleLabels(stats.NewRand(88), 0.3)
+	params := []int{2, 3, 4}
+	for _, w := range equivalenceWorkers {
+		opt := Options{Seed: 89, Workers: w}
+		legacy, err := BootstrapWithLabels(MPCKMeans{}, ds, labeled, params, 6, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Select(context.Background(), Spec{
+			Dataset:     ds,
+			Grid:        Grid{{Algorithm: MPCKMeans{}, Params: params}},
+			Supervision: Labels(labeled),
+			Scorer:      Bootstrap{Rounds: 6},
+			Options:     opt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalSelection(t, legacy, res.PerCandidate[0], "BootstrapWithLabels vs Spec")
+	}
+}
+
+func TestSelectByValidityIndexEquivalence(t *testing.T) {
+	ds := blobsDataset(90, 3, 20, 15)
+	params := []int{2, 3, 4, 5}
+	for _, vi := range ValidityIndices() {
+		for _, w := range equivalenceWorkers {
+			opt := Options{Seed: 91, Workers: w}
+			legacy, err := SelectByValidityIndex(MPCKMeans{}, ds, nil, params, vi, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Select(context.Background(), Spec{
+				Dataset:     ds,
+				Grid:        Grid{{Algorithm: MPCKMeans{}, Params: params}},
+				Supervision: ConstraintSet(nil),
+				Scorer:      Validity{Index: vi},
+				Options:     opt,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalSelection(t, legacy, res.PerCandidate[0], "SelectByValidityIndex("+vi.Name+") vs Spec")
+		}
+	}
+}
+
+func TestSelectBySilhouetteEquivalence(t *testing.T) {
+	ds := blobsDataset(92, 3, 20, 15)
+	labeled := ds.SampleLabels(stats.NewRand(93), 0.3)
+	full := constraints.FromLabels(labeled, ds.Y)
+	params := []int{2, 3, 4, 5}
+	for _, w := range equivalenceWorkers {
+		opt := Options{Seed: 94, Workers: w}
+		legacy, err := SelectBySilhouette(MPCKMeans{}, ds, full, params, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Select(context.Background(), Spec{
+			Dataset:     ds,
+			Grid:        Grid{{Algorithm: MPCKMeans{}, Params: params}},
+			Supervision: ConstraintSet(full),
+			Scorer:      Validity{Index: silhouetteIndex()},
+			Options:     opt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalSelection(t, legacy, res.PerCandidate[0], "SelectBySilhouette vs Spec")
+	}
+}
+
+func TestSelectAlgorithmWithLabelsEquivalence(t *testing.T) {
+	ds := blobsDataset(95, 3, 20, 15)
+	labeled := ds.SampleLabels(stats.NewRand(96), 0.3)
+	cands := []Candidate{
+		{Algorithm: FOSCOpticsDend{}, Params: []int{3, 6, 9}},
+		{Algorithm: MPCKMeans{}, Params: []int{2, 3, 4}},
+		{Algorithm: COPKMeans{}, Params: []int{2, 3, 4}},
+	}
+	for _, w := range equivalenceWorkers {
+		opt := Options{Seed: 97, NFolds: 4, Workers: w}
+		legacy, err := SelectAlgorithmWithLabels(cands, ds, labeled, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Select(context.Background(), Spec{
+			Dataset:     ds,
+			Grid:        Grid(cands),
+			Supervision: Labels(labeled),
+			Options:     opt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.PerCandidate) != len(legacy.PerMethod) {
+			t.Fatalf("%d candidates vs %d", len(res.PerCandidate), len(legacy.PerMethod))
+		}
+		for i := range cands {
+			equalSelection(t, legacy.PerMethod[i], res.PerCandidate[i], "SelectAlgorithmWithLabels candidate "+cands[i].Algorithm.Name())
+		}
+		equalSelection(t, legacy.Winner, res.Winner, "SelectAlgorithmWithLabels winner")
+	}
+}
+
+func TestSelectAlgorithmWithConstraintsEquivalence(t *testing.T) {
+	ds := blobsDataset(98, 3, 20, 15)
+	r := stats.NewRand(99)
+	cons := constraints.Sample(r, constraints.Pool(r, ds.Y, 0.25), 0.6)
+	cands := []Candidate{
+		{Algorithm: MPCKMeans{}, Params: []int{2, 3, 4}},
+		{Algorithm: COPKMeans{}, Params: []int{2, 3, 4}},
+	}
+	for _, w := range equivalenceWorkers {
+		opt := Options{Seed: 100, NFolds: 4, Workers: w}
+		legacy, err := SelectAlgorithmWithConstraints(cands, ds, cons, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Select(context.Background(), Spec{
+			Dataset:     ds,
+			Grid:        Grid(cands),
+			Supervision: ConstraintSet(cons),
+			Options:     opt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cands {
+			equalSelection(t, legacy.PerMethod[i], res.PerCandidate[i], "SelectAlgorithmWithConstraints candidate "+cands[i].Algorithm.Name())
+		}
+		equalSelection(t, legacy.Winner, res.Winner, "SelectAlgorithmWithConstraints winner")
+	}
+}
+
+// The unified grid must be invariant to running candidates together or
+// alone: a multi-candidate Select is bit-identical to one Select per
+// candidate (the property that lets the engine share one worker pool, one
+// Limiter and one run cache across a cross-method selection).
+func TestMultiCandidateMatchesPerCandidate(t *testing.T) {
+	ds := blobsDataset(101, 3, 18, 14)
+	labeled := ds.SampleLabels(stats.NewRand(102), 0.3)
+	cands := Grid{
+		{Algorithm: FOSCOpticsDend{}, Params: []int{3, 6, 9}},
+		{Algorithm: MPCKMeans{}, Params: []int{2, 3, 4, 5}},
+	}
+	opt := Options{Seed: 103, NFolds: 3, Workers: 8}
+	joint, err := Select(context.Background(), Spec{Dataset: ds, Grid: cands, Supervision: Labels(labeled), Options: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cand := range cands {
+		alone, err := Select(context.Background(), Spec{Dataset: ds, Grid: Grid{cand}, Supervision: Labels(labeled), Options: opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalSelection(t, alone.PerCandidate[0], joint.PerCandidate[i], "joint vs alone "+cand.Algorithm.Name())
+	}
+}

@@ -1,21 +1,20 @@
 package cvcp
 
 import (
-	"context"
 	"fmt"
 
 	"cvcp/internal/cluster/copkmeans"
 	"cvcp/internal/constraints"
 	"cvcp/internal/dataset"
 	"cvcp/internal/eval"
-	"cvcp/internal/runner"
-	"cvcp/internal/stats"
 )
 
 // This file implements the extensions the paper's conclusion names as
 // future work: additional semi-supervised clustering methods under CVCP
 // (COP-KMeans) and extending the framework to compare and select between
-// alternative clustering methods, not just parameters of one method.
+// alternative clustering methods — multi-candidate Grids under Select —
+// plus the legacy cross-method and validity-index entry points, now thin
+// deprecated wrappers over the unified core.
 
 // COPKMeans adapts hard-constrained COP-KMeans (Wagstaff et al., ICML 2001)
 // to the Algorithm interface. The parameter under selection is k. Infeasible
@@ -61,62 +60,45 @@ func isInfeasible(err error) bool {
 	return false
 }
 
-// Candidate pairs an algorithm with its parameter range for cross-method
-// selection.
-type Candidate struct {
-	Algorithm Algorithm
-	Params    []int
-}
-
 // AlgorithmSelection reports the winner of a cross-method selection along
-// with each candidate's own selection result.
+// with each candidate's own selection result. It is the legacy form of
+// Result.
 type AlgorithmSelection struct {
 	Winner    *Selection
 	PerMethod []*Selection
 }
 
 // SelectAlgorithmWithLabels extends CVCP across clustering paradigms (the
-// paper's final future-work item): every candidate algorithm runs its own
-// CVCP parameter selection on the same supervision, and the algorithm whose
-// best parameter achieves the highest cross-validated constraint F-measure
-// wins. All candidates share the same seed, hence the same folds, so the
-// comparison is paired.
+// paper's final future-work item) on Scenario I supervision: the algorithm
+// whose best parameter achieves the highest cross-validated constraint
+// F-measure wins. All candidates share the same seed, hence the same folds,
+// so the comparison is paired — and since the whole grid runs as one
+// engine dispatch, they also share one worker pool and one run cache.
+//
+// Deprecated: use Select with a multi-candidate Grid; this wrapper remains
+// for compatibility and returns bit-identical results.
 func SelectAlgorithmWithLabels(cands []Candidate, ds *dataset.Dataset, labeledIdx []int, opt Options) (*AlgorithmSelection, error) {
-	if len(cands) == 0 {
-		return nil, fmt.Errorf("cvcp: no candidate algorithms")
-	}
-	out := &AlgorithmSelection{}
-	for _, cand := range cands {
-		sel, err := SelectWithLabels(cand.Algorithm, ds, labeledIdx, cand.Params, opt)
-		if err != nil {
-			return nil, fmt.Errorf("cvcp: candidate %s: %w", cand.Algorithm.Name(), err)
-		}
-		out.PerMethod = append(out.PerMethod, sel)
-		if out.Winner == nil || sel.Best.Score > out.Winner.Best.Score {
-			out.Winner = sel
-		}
-	}
-	return out, nil
+	return selectAlgorithms(cands, ds, Labels(labeledIdx), opt)
 }
 
 // SelectAlgorithmWithConstraints is SelectAlgorithmWithLabels for
 // Scenario II supervision.
+//
+// Deprecated: use Select with a multi-candidate Grid; this wrapper remains
+// for compatibility and returns bit-identical results.
 func SelectAlgorithmWithConstraints(cands []Candidate, ds *dataset.Dataset, cons *constraints.Set, opt Options) (*AlgorithmSelection, error) {
+	return selectAlgorithms(cands, ds, ConstraintSet(cons), opt)
+}
+
+func selectAlgorithms(cands []Candidate, ds *dataset.Dataset, sup Supervision, opt Options) (*AlgorithmSelection, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("cvcp: no candidate algorithms")
 	}
-	out := &AlgorithmSelection{}
-	for _, cand := range cands {
-		sel, err := SelectWithConstraints(cand.Algorithm, ds, cons, cand.Params, opt)
-		if err != nil {
-			return nil, fmt.Errorf("cvcp: candidate %s: %w", cand.Algorithm.Name(), err)
-		}
-		out.PerMethod = append(out.PerMethod, sel)
-		if out.Winner == nil || sel.Best.Score > out.Winner.Best.Score {
-			out.Winner = sel
-		}
+	res, err := Select(opt.Context, Spec{Dataset: ds, Grid: Grid(cands), Supervision: sup, Options: opt})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AlgorithmSelection{Winner: res.Winner, PerMethod: res.PerCandidate}, nil
 }
 
 // ValidityIndex is a relative clustering validity criterion used as an
@@ -129,21 +111,31 @@ type ValidityIndex struct {
 	Better func(a, b float64) bool
 }
 
+func silhouetteIndex() ValidityIndex {
+	return ValidityIndex{
+		Name:   "silhouette",
+		Score:  eval.Silhouette,
+		Better: func(a, b float64) bool { return a > b },
+	}
+}
+
 // ValidityIndices returns the classical criteria from the comparative study
 // the paper cites (Vendramin et al. 2010): Silhouette (the paper's own
 // baseline), Davies–Bouldin, Calinski–Harabasz and Dunn.
 func ValidityIndices() []ValidityIndex {
 	return []ValidityIndex{
-		{Name: "silhouette", Score: eval.Silhouette, Better: func(a, b float64) bool { return a > b }},
+		silhouetteIndex(),
 		{Name: "davies-bouldin", Score: eval.DaviesBouldin, Better: func(a, b float64) bool { return a < b }},
 		{Name: "calinski-harabasz", Score: eval.CalinskiHarabasz, Better: func(a, b float64) bool { return a > b }},
 		{Name: "dunn", Score: eval.Dunn, Better: func(a, b float64) bool { return a > b }},
 	}
 }
 
-// SelectByValidityIndex generalizes SelectBySilhouette to any relative
-// validity criterion: every candidate parameter clusters the data with the
-// full supervision and the criterion picks the winner.
+// SelectByValidityIndex picks the parameter whose full-supervision
+// clustering optimizes the given relative validity criterion.
+//
+// Deprecated: use Select with Scorer: Validity{Index: vi}; this wrapper
+// remains for compatibility and returns bit-identical results.
 func SelectByValidityIndex(alg Algorithm, ds *dataset.Dataset, full *constraints.Set, params []int, vi ValidityIndex, opt Options) (*Selection, error) {
 	sels, err := SelectByValidityIndices(alg, ds, full, params, []ValidityIndex{vi}, opt)
 	if err != nil {
@@ -157,101 +149,45 @@ func SelectByValidityIndex(alg Algorithm, ds *dataset.Dataset, full *constraints
 // exactly once (the sweep dispatches through the selection engine), and
 // every criterion picks its winner from the shared partitions. The
 // clustering cost is the dominant term, so comparing n criteria costs the
-// same as comparing one.
+// same as comparing one. For a single criterion, prefer Select with
+// Scorer: Validity{Index: vi}.
 func SelectByValidityIndices(alg Algorithm, ds *dataset.Dataset, full *constraints.Set, params []int, vis []ValidityIndex, opt Options) ([]*Selection, error) {
-	if err := checkArgs(alg, ds, params); err != nil {
+	spec := Spec{
+		Dataset:     ds,
+		Grid:        Grid{{Algorithm: alg, Params: params}},
+		Supervision: ConstraintSet(full),
+		Options:     opt,
+	}
+	if err := spec.validate(); err != nil {
 		return nil, err
 	}
 	if len(vis) == 0 {
 		return nil, fmt.Errorf("cvcp: no validity indices")
 	}
-	for _, vi := range vis {
-		if vi.Score == nil || vi.Better == nil {
-			return nil, fmt.Errorf("cvcp: validity index %q incomplete", vi.Name)
-		}
-	}
-	if full == nil {
-		full = constraints.NewSet()
-	}
-	labelsPer := make([][]int, len(params))
-	err := runner.Grid(opt.engineOptions(), len(params), 1,
-		func(_ context.Context, pi, _ int) error {
-			labels, err := alg.Cluster(ds, full, params[pi], stats.SplitSeed(opt.Seed, pi+1))
-			if err != nil {
-				return fmt.Errorf("cvcp: %s with parameter %d: %w", alg.Name(), params[pi], err)
-			}
-			labelsPer[pi] = labels
-			return nil
-		})
+	sup, err := spec.Supervision.Full(ds)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Selection, len(vis))
-	for vii, vi := range vis {
-		scores := make([]ParamScore, len(params))
-		bi := 0
-		for pi, p := range params {
-			scores[pi] = ParamScore{Param: p, Score: vi.Score(ds.X, labelsPer[pi])}
-			if pi > 0 && vi.Better(scores[pi].Score, scores[bi].Score) {
-				bi = pi
-			}
-		}
-		out[vii] = &Selection{
-			Algorithm:   alg.Name() + "+" + vi.Name,
-			Best:        scores[bi],
-			Scores:      scores,
-			FinalLabels: labelsPer[bi],
-		}
-	}
-	return out, nil
-}
-
-// BootstrapWithLabels scores one parameter by bootstrap resampling instead
-// of cross-validation — the alternative partition-based evaluation the
-// paper's Section 3.1 mentions ("the same reasoning would apply to other
-// partition-based evaluation procedures such as bootstrapping"). Each round
-// draws labeled objects with replacement as the training side; the
-// out-of-bag labeled objects form the test side, with constraints derived
-// independently on each side exactly as in Scenario I.
-func BootstrapWithLabels(alg Algorithm, ds *dataset.Dataset, labeledIdx []int, params []int, rounds int, opt Options) (*Selection, error) {
-	if err := checkArgs(alg, ds, params); err != nil {
+	per, err := validityScore(ds, spec.Grid, sup, vis, spec.Options)
+	if err != nil {
 		return nil, err
 	}
-	if !ds.Labeled() {
-		return nil, fmt.Errorf("cvcp: bootstrap requires a labeled dataset")
-	}
-	if rounds < 1 {
-		rounds = 10
-	}
-	if len(labeledIdx) < 4 {
-		return nil, fmt.Errorf("cvcp: need at least 4 labeled objects, got %d", len(labeledIdx))
-	}
-	r := stats.NewRand(opt.Seed)
-	folds := make([]cvFold, 0, rounds)
-	for len(folds) < rounds {
-		inBag := map[int]bool{}
-		bag := make([]int, 0, len(labeledIdx))
-		for i := 0; i < len(labeledIdx); i++ {
-			o := labeledIdx[r.Intn(len(labeledIdx))]
-			if !inBag[o] {
-				inBag[o] = true
-				bag = append(bag, o)
-			}
-		}
-		var oob []int
-		for _, o := range labeledIdx {
-			if !inBag[o] {
-				oob = append(oob, o)
-			}
-		}
-		if len(bag) < 2 || len(oob) < 2 {
-			continue // resample: degenerate bootstrap draw
-		}
-		folds = append(folds, cvFold{
-			train: constraints.FromLabels(bag, ds.Y),
-			test:  constraints.FromLabels(oob, ds.Y),
-		})
-	}
-	full := constraints.FromLabels(labeledIdx, ds.Y)
-	return run(alg, ds, params, opt, folds, full)
+	return per[0], nil
+}
+
+// BootstrapWithLabels scores parameters by bootstrap resampling instead of
+// cross-validation — the alternative partition-based evaluation the paper's
+// Section 3.1 mentions ("the same reasoning would apply to other
+// partition-based evaluation procedures such as bootstrapping").
+//
+// Deprecated: use Select with Scorer: Bootstrap{Rounds: rounds}; this
+// wrapper remains for compatibility and returns bit-identical results.
+func BootstrapWithLabels(alg Algorithm, ds *dataset.Dataset, labeledIdx []int, params []int, rounds int, opt Options) (*Selection, error) {
+	return selectOne(Spec{
+		Dataset:     ds,
+		Grid:        Grid{{Algorithm: alg, Params: params}},
+		Supervision: Labels(labeledIdx),
+		Scorer:      Bootstrap{Rounds: rounds},
+		Options:     opt,
+	})
 }

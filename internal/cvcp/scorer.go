@@ -1,0 +1,292 @@
+package cvcp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"cvcp/internal/constraints"
+	"cvcp/internal/dataset"
+	"cvcp/internal/eval"
+	"cvcp/internal/runner"
+	"cvcp/internal/stats"
+)
+
+// Scorer is the strategy that turns a candidate grid plus supervision into
+// scored selections — the axis along which evaluation procedures plug into
+// the framework. Three implementations ship: CrossValidation (the paper's
+// CVCP criterion), Bootstrap (the resampling alternative §3.1 mentions) and
+// Validity (the classical unsupervised baselines of §4.3).
+//
+// A Scorer must dispatch its entire (candidate, parameter, evaluation-unit)
+// workload through a single engine run per phase, so every candidate shares
+// one worker pool, one Limiter and one run cache, and must derive every
+// random seed from grid position — never from scheduling order — so results
+// are bit-identical for any worker count.
+type Scorer interface {
+	// Name identifies the strategy in errors and reports.
+	Name() string
+	// Better reports whether best-score a beats best-score b when
+	// comparing candidates (larger-is-better for constraint F-measure,
+	// index-specific for validity criteria).
+	Better(a, b float64) bool
+	// Score evaluates every candidate of the grid against the supervision
+	// and returns one complete Selection per candidate, in grid order.
+	Score(ds *dataset.Dataset, grid Grid, sup Supervision, opt Options) ([]*Selection, error)
+}
+
+// ScorerByName maps a scoring-strategy name onto its implementation: ""
+// or "cv" is CrossValidation, "bootstrap" is Bootstrap with the given
+// round count, and any validity index name from ValidityIndices()
+// (silhouette, davies-bouldin, calinski-harabasz, dunn) is Validity over
+// that index. Every name-based surface (the cvcp CLI's -scorer flag, the
+// cvcpd job spec) resolves through this one mapping, so the accepted
+// vocabulary cannot drift between surfaces.
+func ScorerByName(name string, rounds int) (Scorer, error) {
+	switch name {
+	case "", "cv":
+		return CrossValidation{}, nil
+	case "bootstrap":
+		return Bootstrap{Rounds: rounds}, nil
+	}
+	for _, vi := range ValidityIndices() {
+		if vi.Name == name {
+			return Validity{Index: vi}, nil
+		}
+	}
+	return nil, fmt.Errorf("cvcp: unknown scorer %q (have %s)", name, strings.Join(ScorerNames(), ", "))
+}
+
+// ScorerNames returns every name ScorerByName accepts.
+func ScorerNames() []string {
+	out := []string{"cv", "bootstrap"}
+	for _, vi := range ValidityIndices() {
+		out = append(out, vi.Name)
+	}
+	return out
+}
+
+// CrossValidation scores candidates by n-fold cross-validation — the
+// paper's CVCP criterion: the partition produced from each fold's training
+// supervision is treated as a binary classifier over the fold's test
+// constraints and scored with the average per-class F-measure. The fold
+// count comes from Options.NFolds (0 means 10, adapted downward for small
+// supervision).
+type CrossValidation struct{}
+
+// Name implements Scorer.
+func (CrossValidation) Name() string { return "cross-validation" }
+
+// Better implements Scorer: larger constraint F-measure wins.
+func (CrossValidation) Better(a, b float64) bool { return a > b }
+
+// Score implements Scorer.
+func (CrossValidation) Score(ds *dataset.Dataset, grid Grid, sup Supervision, opt Options) ([]*Selection, error) {
+	folds, full, err := sup.CVFolds(ds, opt.nFolds(), opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return partitionScore(ds, grid, folds, full, opt)
+}
+
+// Bootstrap scores candidates by bootstrap resampling instead of
+// cross-validation — the alternative partition-based evaluation the paper's
+// Section 3.1 mentions. Each round draws supervision objects with
+// replacement as the training side; the out-of-bag objects form the test
+// side. Only label supervision can be resampled.
+type Bootstrap struct {
+	// Rounds is the number of bootstrap rounds; 0 means 10.
+	Rounds int
+}
+
+// Name implements Scorer.
+func (Bootstrap) Name() string { return "bootstrap" }
+
+// Better implements Scorer: larger constraint F-measure wins.
+func (Bootstrap) Better(a, b float64) bool { return a > b }
+
+func (b Bootstrap) rounds() int {
+	if b.Rounds < 1 {
+		return 10
+	}
+	return b.Rounds
+}
+
+// Score implements Scorer.
+func (b Bootstrap) Score(ds *dataset.Dataset, grid Grid, sup Supervision, opt Options) ([]*Selection, error) {
+	folds, full, err := sup.BootstrapFolds(ds, b.rounds(), opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return partitionScore(ds, grid, folds, full, opt)
+}
+
+// Validity scores candidates by a relative clustering validity index — the
+// classical unsupervised model-selection baseline (§4.3): every candidate
+// parameter clusters the data once with the full supervision and the index
+// picks the winner from the resulting partitions. There is no refit: the
+// winning sweep partition is the final clustering.
+type Validity struct {
+	Index ValidityIndex
+}
+
+// Name implements Scorer.
+func (v Validity) Name() string { return "validity:" + v.Index.Name }
+
+// Better implements Scorer, deferring to the index's own direction.
+func (v Validity) Better(a, b float64) bool {
+	if v.Index.Better == nil {
+		return false
+	}
+	return v.Index.Better(a, b)
+}
+
+// Score implements Scorer.
+func (v Validity) Score(ds *dataset.Dataset, grid Grid, sup Supervision, opt Options) ([]*Selection, error) {
+	full, err := sup.Full(ds)
+	if err != nil {
+		return nil, err
+	}
+	per, err := validityScore(ds, grid, full, []ValidityIndex{v.Index}, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Selection, len(per))
+	for ci := range per {
+		out[ci] = per[ci][0]
+	}
+	return out, nil
+}
+
+// partitionScore is the shared machinery of the partition-based scorers
+// (cross-validation, bootstrap): it schedules the full candidate × parameter
+// × fold grid through the execution engine as ONE run — a single worker
+// pool, a single Limiter acquisition stream and a single run cache serve
+// every candidate — then aggregates per-candidate scores and refits each
+// candidate's winner with the full supervision.
+//
+// Determinism: each cell's seed derives from its within-candidate grid
+// position (stats.SplitSeed(opt.Seed, pi*len(folds)+fi+1)), exactly the
+// derivation the per-candidate legacy entry points used, so a multi-candidate
+// run is bit-identical to running each candidate alone.
+func partitionScore(ds *dataset.Dataset, grid Grid, folds []Fold, full *constraints.Set, opt Options) ([]*Selection, error) {
+	scores := make([][]ParamScore, len(grid))
+	tasks := make([]runner.Task, 0)
+	for ci, cand := range grid {
+		scores[ci] = make([]ParamScore, len(cand.Params))
+		for pi, p := range cand.Params {
+			scores[ci][pi] = ParamScore{Param: p, FoldScores: make([]float64, len(folds))}
+			for fi := range folds {
+				ci, pi, fi := ci, pi, fi
+				tasks = append(tasks, func(context.Context) error {
+					cand := grid[ci]
+					seed := stats.SplitSeed(opt.Seed, pi*len(folds)+fi+1)
+					labels, err := cand.Algorithm.Cluster(ds, folds[fi].Train, cand.Params[pi], seed)
+					if err != nil {
+						return fmt.Errorf("cvcp: %s with parameter %d: %w", cand.Algorithm.Name(), cand.Params[pi], err)
+					}
+					scores[ci][pi].FoldScores[fi] = eval.ConstraintF(labels, folds[fi].Test)
+					return nil
+				})
+			}
+		}
+	}
+	if err := runner.Run(opt.engineOptions(), tasks); err != nil {
+		return nil, err
+	}
+
+	out := make([]*Selection, len(grid))
+	for ci, cand := range grid {
+		for pi := range scores[ci] {
+			scores[ci][pi].Score = stats.Mean(scores[ci][pi].FoldScores)
+		}
+		best := scores[ci][0]
+		for _, ps := range scores[ci][1:] {
+			if ps.Score > best.Score {
+				best = ps
+			}
+		}
+		out[ci] = &Selection{Algorithm: cand.Algorithm.Name(), Best: best, Scores: scores[ci]}
+	}
+
+	// The final clusterings dispatch through the engine too — one task per
+	// candidate, still under the shared Limiter and context — with the same
+	// seed derivation the legacy single-candidate path used. Progress
+	// reporting covers the scoring grid only, so the callback never sees a
+	// second, smaller (done, total) sequence after the grid completed.
+	fopt := opt.engineOptions()
+	fopt.OnProgress = nil
+	finals := make([]runner.Task, len(grid))
+	for ci := range grid {
+		ci := ci
+		finals[ci] = func(context.Context) error {
+			labels, err := grid[ci].Algorithm.Cluster(ds, full, out[ci].Best.Param, stats.SplitSeed(opt.Seed, 0))
+			if err != nil {
+				return err
+			}
+			out[ci].FinalLabels = labels
+			return nil
+		}
+	}
+	if err := runner.Run(fopt, finals); err != nil {
+		if opt.Context != nil && opt.Context.Err() != nil {
+			return nil, opt.Context.Err()
+		}
+		return nil, fmt.Errorf("cvcp: final clustering: %w", err)
+	}
+	return out, nil
+}
+
+// validityScore runs one full-supervision parameter sweep per candidate —
+// all candidates through a single engine run — and scores the shared
+// partitions with every given index. It returns one Selection per
+// (candidate, index); the clustering cost is the dominant term, so scoring
+// n indices costs the same as scoring one.
+func validityScore(ds *dataset.Dataset, grid Grid, full *constraints.Set, vis []ValidityIndex, opt Options) ([][]*Selection, error) {
+	for _, vi := range vis {
+		if vi.Score == nil || vi.Better == nil {
+			return nil, fmt.Errorf("cvcp: validity index %q incomplete", vi.Name)
+		}
+	}
+	labelsPer := make([][][]int, len(grid))
+	tasks := make([]runner.Task, 0)
+	for ci, cand := range grid {
+		labelsPer[ci] = make([][]int, len(cand.Params))
+		for pi := range cand.Params {
+			ci, pi := ci, pi
+			tasks = append(tasks, func(context.Context) error {
+				cand := grid[ci]
+				labels, err := cand.Algorithm.Cluster(ds, full, cand.Params[pi], stats.SplitSeed(opt.Seed, pi+1))
+				if err != nil {
+					return fmt.Errorf("cvcp: %s with parameter %d: %w", cand.Algorithm.Name(), cand.Params[pi], err)
+				}
+				labelsPer[ci][pi] = labels
+				return nil
+			})
+		}
+	}
+	if err := runner.Run(opt.engineOptions(), tasks); err != nil {
+		return nil, err
+	}
+	out := make([][]*Selection, len(grid))
+	for ci, cand := range grid {
+		out[ci] = make([]*Selection, len(vis))
+		for vii, vi := range vis {
+			scores := make([]ParamScore, len(cand.Params))
+			bi := 0
+			for pi, p := range cand.Params {
+				scores[pi] = ParamScore{Param: p, Score: vi.Score(ds.X, labelsPer[ci][pi])}
+				if pi > 0 && vi.Better(scores[pi].Score, scores[bi].Score) {
+					bi = pi
+				}
+			}
+			out[ci][vii] = &Selection{
+				Algorithm:   cand.Algorithm.Name() + "+" + vi.Name,
+				Best:        scores[bi],
+				Scores:      scores,
+				FinalLabels: labelsPer[ci][bi],
+			}
+		}
+	}
+	return out, nil
+}

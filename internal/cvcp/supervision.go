@@ -1,0 +1,173 @@
+package cvcp
+
+import (
+	"fmt"
+
+	"cvcp/internal/constraints"
+	"cvcp/internal/dataset"
+	"cvcp/internal/stats"
+)
+
+// Fold is one train/test split of supervision, already in constraint form.
+// Scorers cluster with Train and score the partition against Test; the two
+// sides are constructed leak-free (no Test constraint is derivable from
+// Train via the transitive closure).
+type Fold struct {
+	Train, Test *constraints.Set
+}
+
+// Supervision is the partial ground truth driving a selection — the paper's
+// two scenarios are the two implementations: Labels (Scenario I, §3.1.1)
+// and ConstraintSet (Scenario II, §3.1.2). A Supervision knows how to turn
+// itself into the evaluation splits each Scorer needs, so scorers and
+// scenarios compose freely.
+type Supervision interface {
+	// Kind names the scenario for error messages ("labels", "constraints").
+	Kind() string
+	// Full returns the complete supervision as a constraint set, exactly as
+	// given — the training input for scorers that do not partition
+	// (validity indices).
+	Full(ds *dataset.Dataset) (*constraints.Set, error)
+	// CVFolds partitions the supervision into at most n leak-free
+	// cross-validation folds (the count adapts downward for small
+	// supervision, never below 2) and returns the refit supervision used
+	// for the final clustering — the transitive closure for constraints,
+	// all pairwise constraints among the labeled objects for labels.
+	CVFolds(ds *dataset.Dataset, n int, seed int64) ([]Fold, *constraints.Set, error)
+	// BootstrapFolds draws rounds bootstrap train / out-of-bag test splits
+	// plus the refit supervision. Supervisions that cannot be resampled
+	// return an error.
+	BootstrapFolds(ds *dataset.Dataset, rounds int, seed int64) ([]Fold, *constraints.Set, error)
+}
+
+// Labels is Scenario I supervision (§3.1.1): the objects at the given
+// indices are labeled, their labels read from the dataset's Y column.
+// Constraints are derived independently inside the training side and the
+// test side of each fold, which keeps the cross-validation leak-free.
+func Labels(idx []int) Supervision { return labelSupervision{idx: idx} }
+
+type labelSupervision struct{ idx []int }
+
+func (labelSupervision) Kind() string { return "labels" }
+
+func (l labelSupervision) check(ds *dataset.Dataset) error {
+	if !ds.Labeled() {
+		return fmt.Errorf("cvcp: Scenario I requires a labeled dataset")
+	}
+	if len(l.idx) < 4 {
+		return fmt.Errorf("cvcp: need at least 4 labeled objects, got %d", len(l.idx))
+	}
+	return nil
+}
+
+func (l labelSupervision) Full(ds *dataset.Dataset) (*constraints.Set, error) {
+	if !ds.Labeled() {
+		return nil, fmt.Errorf("cvcp: Scenario I requires a labeled dataset")
+	}
+	return constraints.FromLabels(l.idx, ds.Y), nil
+}
+
+func (l labelSupervision) CVFolds(ds *dataset.Dataset, n int, seed int64) ([]Fold, *constraints.Set, error) {
+	if err := l.check(ds); err != nil {
+		return nil, nil, err
+	}
+	n = constraints.AdaptFolds(n, len(l.idx))
+	folds, err := constraints.SplitLabels(stats.NewRand(seed), l.idx, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs := make([]Fold, len(folds))
+	for i, f := range folds {
+		fs[i] = Fold{
+			Train: constraints.FromLabels(f.TrainIdx, ds.Y),
+			Test:  constraints.FromLabels(f.TestIdx, ds.Y),
+		}
+	}
+	return fs, constraints.FromLabels(l.idx, ds.Y), nil
+}
+
+func (l labelSupervision) BootstrapFolds(ds *dataset.Dataset, rounds int, seed int64) ([]Fold, *constraints.Set, error) {
+	if !ds.Labeled() {
+		return nil, nil, fmt.Errorf("cvcp: bootstrap requires a labeled dataset")
+	}
+	if len(l.idx) < 4 {
+		return nil, nil, fmt.Errorf("cvcp: need at least 4 labeled objects, got %d", len(l.idx))
+	}
+	r := stats.NewRand(seed)
+	folds := make([]Fold, 0, rounds)
+	for len(folds) < rounds {
+		inBag := map[int]bool{}
+		bag := make([]int, 0, len(l.idx))
+		for i := 0; i < len(l.idx); i++ {
+			o := l.idx[r.Intn(len(l.idx))]
+			if !inBag[o] {
+				inBag[o] = true
+				bag = append(bag, o)
+			}
+		}
+		var oob []int
+		for _, o := range l.idx {
+			if !inBag[o] {
+				oob = append(oob, o)
+			}
+		}
+		if len(bag) < 2 || len(oob) < 2 {
+			continue // resample: degenerate bootstrap draw
+		}
+		folds = append(folds, Fold{
+			Train: constraints.FromLabels(bag, ds.Y),
+			Test:  constraints.FromLabels(oob, ds.Y),
+		})
+	}
+	return folds, constraints.FromLabels(l.idx, ds.Y), nil
+}
+
+// ConstraintSet is Scenario II supervision (§3.1.2): a set of pairwise
+// must-link / cannot-link constraints. For cross-validation the constraint
+// graph is transitively closed, the involved objects are partitioned into
+// folds, and constraints crossing the train/test boundary are removed,
+// guaranteeing test independence. A nil set is treated as empty (usable
+// only with scorers that need no supervision, such as validity indices).
+func ConstraintSet(cons *constraints.Set) Supervision {
+	return constraintSupervision{cons: cons}
+}
+
+type constraintSupervision struct{ cons *constraints.Set }
+
+func (constraintSupervision) Kind() string { return "constraints" }
+
+func (c constraintSupervision) set() *constraints.Set {
+	if c.cons == nil {
+		return constraints.NewSet()
+	}
+	return c.cons
+}
+
+func (c constraintSupervision) Full(*dataset.Dataset) (*constraints.Set, error) {
+	return c.set(), nil
+}
+
+func (c constraintSupervision) CVFolds(ds *dataset.Dataset, n int, seed int64) ([]Fold, *constraints.Set, error) {
+	cons := c.set()
+	if cons.Len() == 0 {
+		return nil, nil, fmt.Errorf("cvcp: Scenario II requires a non-empty constraint set")
+	}
+	closed, err := constraints.Closure(cons)
+	if err != nil {
+		return nil, nil, err
+	}
+	n = constraints.AdaptFolds(n, len(closed.Involved()))
+	cfolds, err := constraints.SplitConstraints(stats.NewRand(seed), cons, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs := make([]Fold, len(cfolds))
+	for i, f := range cfolds {
+		fs[i] = Fold{Train: f.Train, Test: f.Test}
+	}
+	return fs, closed, nil
+}
+
+func (c constraintSupervision) BootstrapFolds(*dataset.Dataset, int, int64) ([]Fold, *constraints.Set, error) {
+	return nil, nil, fmt.Errorf("cvcp: bootstrap scoring requires label supervision")
+}

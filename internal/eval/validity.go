@@ -2,6 +2,7 @@ package eval
 
 import (
 	"math"
+	"sort"
 
 	"cvcp/internal/linalg"
 )
@@ -26,6 +27,20 @@ func clusterIndex(labels []int) map[int][]int {
 	return members
 }
 
+// sortedIDs returns the cluster labels in increasing order. Every criterion
+// below iterates clusters through it: floating-point accumulation is not
+// associative, so summing in Go's randomized map order would make scores
+// differ in the last bits from run to run — breaking the bit-identical
+// guarantee every selection surface relies on.
+func sortedIDs(members map[int][]int) []int {
+	ids := make([]int, 0, len(members))
+	for l := range members {
+		ids = append(ids, l)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // DaviesBouldin computes the Davies–Bouldin index (lower is better): the
 // mean over clusters of the worst ratio (s_i + s_j) / d(c_i, c_j), where
 // s_i is the mean distance of cluster i's members to its centroid. It
@@ -35,13 +50,11 @@ func DaviesBouldin(x [][]float64, labels []int) float64 {
 	if len(members) < 2 {
 		return math.Inf(1)
 	}
-	ids := make([]int, 0, len(members))
-	for l := range members {
-		ids = append(ids, l)
-	}
+	ids := sortedIDs(members)
 	centroids := map[int][]float64{}
 	scatter := map[int]float64{}
-	for l, idx := range members {
+	for _, l := range ids {
+		idx := members[l]
 		c := linalg.MeanInto(nil, x, idx)
 		centroids[l] = c
 		var s float64
@@ -80,9 +93,10 @@ func CalinskiHarabasz(x [][]float64, labels []int) float64 {
 	if k < 2 {
 		return 0
 	}
+	ids := sortedIDs(members)
 	var idxAll []int
-	for _, idx := range members {
-		idxAll = append(idxAll, idx...)
+	for _, l := range ids {
+		idxAll = append(idxAll, members[l]...)
 	}
 	n := len(idxAll)
 	if n <= k {
@@ -90,7 +104,8 @@ func CalinskiHarabasz(x [][]float64, labels []int) float64 {
 	}
 	overall := linalg.MeanInto(nil, x, idxAll)
 	var between, within float64
-	for _, idx := range members {
+	for _, l := range ids {
+		idx := members[l]
 		c := linalg.MeanInto(nil, x, idx)
 		between += float64(len(idx)) * linalg.SqDist(c, overall)
 		for _, i := range idx {
@@ -114,10 +129,7 @@ func Dunn(x [][]float64, labels []int) float64 {
 	}
 	minBetween := math.Inf(1)
 	maxDiam := 0.0
-	ids := make([]int, 0, len(members))
-	for l := range members {
-		ids = append(ids, l)
-	}
+	ids := sortedIDs(members)
 	for a := 0; a < len(ids); a++ {
 		ia := members[ids[a]]
 		for _, p := range ia {

@@ -126,10 +126,16 @@ func validityAblation(cfg Config, w io.Writer) error {
 			// Both selections dispatch their parameter sweeps through the
 			// engine internally; the four validity indices additionally
 			// share one sweep, so each parameter clusters exactly once.
-			sel, err := corecvcp.SelectWithLabels(corecvcp.MPCKMeans{}, ds, labeled, params, opt)
+			selRes, err := corecvcp.Select(context.Background(), corecvcp.Spec{
+				Dataset:     ds,
+				Grid:        corecvcp.Grid{{Algorithm: corecvcp.MPCKMeans{}, Params: params}},
+				Supervision: corecvcp.Labels(labeled),
+				Options:     opt,
+			})
 			if err != nil {
 				return err
 			}
+			sel := selRes.PerCandidate[0]
 			labels, err := corecvcp.MPCKMeans{}.Cluster(ds, full, sel.Best.Param, stats.SplitSeed(seed, 2))
 			if err != nil {
 				return err

@@ -83,8 +83,7 @@ func runTrial(cfg Config, ds *dataset.Dataset, m method, sc scenario, frac float
 
 	var full *constraints.Set
 	var involved []int
-	var sel *corecvcp.Selection
-	var err error
+	var sup corecvcp.Supervision
 
 	opt := corecvcp.Options{NFolds: cfg.NFolds, Seed: stats.SplitSeed(seed, 1), Workers: cfg.workers(), Progress: cfg.Progress}
 	switch sc {
@@ -92,20 +91,28 @@ func runTrial(cfg Config, ds *dataset.Dataset, m method, sc scenario, frac float
 		labeled := ds.SampleLabels(r, frac)
 		full = constraints.FromLabels(labeled, ds.Y)
 		involved = labeled
-		sel, err = corecvcp.SelectWithLabels(alg, ds, labeled, params, opt)
+		sup = corecvcp.Labels(labeled)
 	default:
 		pool := constraints.Pool(r, ds.Y, PoolObjectFraction)
 		given := constraints.Sample(r, pool, frac)
-		full, err = constraints.Closure(given)
+		closed, err := constraints.Closure(given)
 		if err != nil {
 			return trialResult{}, err
 		}
+		full = closed
 		involved = given.Involved()
-		sel, err = corecvcp.SelectWithConstraints(alg, ds, given, params, opt)
+		sup = corecvcp.ConstraintSet(given)
 	}
+	selRes, err := corecvcp.Select(context.Background(), corecvcp.Spec{
+		Dataset:     ds,
+		Grid:        corecvcp.Grid{{Algorithm: alg, Params: params}},
+		Supervision: sup,
+		Options:     opt,
+	})
 	if err != nil {
 		return trialResult{}, err
 	}
+	sel := selRes.PerCandidate[0]
 
 	evalIdx := complement(ds.N(), involved)
 	res := trialResult{

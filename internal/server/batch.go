@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
@@ -43,14 +42,17 @@ type BatchView struct {
 type batchRequest struct {
 	Datasets []batchDataset `json:"datasets"`
 
-	Algorithm     string           `json:"algorithm"`
-	Params        []int            `json:"params"`
-	ParamMin      int              `json:"param_min"`
-	ParamMax      int              `json:"param_max"`
-	Folds         int              `json:"folds"`
-	Seed          int64            `json:"seed"`
-	LabelFraction float64          `json:"label_fraction"`
-	Constraints   []constraintJSON `json:"constraints"`
+	Algorithm       string           `json:"algorithm"`
+	Algorithms      []string         `json:"algorithms"`
+	Scorer          string           `json:"scorer"`
+	BootstrapRounds int              `json:"bootstrap_rounds"`
+	Params          []int            `json:"params"`
+	ParamMin        int              `json:"param_min"`
+	ParamMax        int              `json:"param_max"`
+	Folds           int              `json:"folds"`
+	Seed            int64            `json:"seed"`
+	LabelFraction   float64          `json:"label_fraction"`
+	Constraints     []constraintJSON `json:"constraints"`
 }
 
 // batchDataset is one dataset of a batch submission.
@@ -69,11 +71,8 @@ func parseBatchSubmission(r *http.Request, maxBody int64) ([]BatchItem, *apiErro
 		return nil, badRequest("invalid_request", "batch submissions are JSON documents (got Content-Type %q)", ct)
 	}
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		if apiErr := asSizeError(err); apiErr != nil {
-			return nil, apiErr
-		}
-		return nil, badRequest("invalid_request", "malformed JSON body: %v", err)
+	if apiErr := decodeStrictJSON(r.Body, &req); apiErr != nil {
+		return nil, apiErr
 	}
 	if len(req.Datasets) == 0 {
 		return nil, badRequest("invalid_request", `batch submissions require a non-empty "datasets" list`)
@@ -82,7 +81,9 @@ func parseBatchSubmission(r *http.Request, maxBody int64) ([]BatchItem, *apiErro
 		return nil, badRequest("invalid_request", "%d datasets in one batch, limit %d", len(req.Datasets), maxBatchDatasets)
 	}
 	base, apiErr := specFromRequest(jobRequest{
-		Algorithm: req.Algorithm, Params: req.Params,
+		Algorithm: req.Algorithm, Algorithms: req.Algorithms,
+		Scorer: req.Scorer, BootstrapRounds: req.BootstrapRounds,
+		Params:   req.Params,
 		ParamMin: req.ParamMin, ParamMax: req.ParamMax,
 		Folds: req.Folds, Seed: req.Seed,
 		LabelFraction: req.LabelFraction, Constraints: req.Constraints,

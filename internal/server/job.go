@@ -41,22 +41,50 @@ type ConstraintSpec struct {
 // Spec is a validated job specification — everything a selection needs
 // except the dataset itself. It is immutable after submission and is
 // persisted verbatim (JSON) into the job store, so a re-queued job re-runs
-// with exactly the options it was submitted with.
+// with exactly the options it was submitted with. At execution time it maps
+// one-to-one onto a cvcp.Spec: Algorithm/Algorithms+Params become the Grid,
+// LabelFraction/Constraints the Supervision, Scorer the scoring strategy.
 type Spec struct {
+	// Algorithm is the single candidate method of an ordinary job; empty
+	// means the registry default ("fosc") unless Algorithms is set.
 	Algorithm string `json:"algorithm"`
-	// Params is the candidate parameter range (never empty after
-	// validation; defaults come from the algorithm registry).
+	// Algorithms, when non-empty, makes the job a cross-method selection:
+	// every named method competes on the same supervision in one shared
+	// engine grid, and the best method+parameter combination wins.
+	// Mutually exclusive with Algorithm.
+	Algorithms []string `json:"algorithms,omitempty"`
+	// Params is the candidate parameter range. For single-method jobs it is
+	// never empty after validation (defaults come from the algorithm
+	// registry); for cross-method jobs an empty Params means every
+	// candidate uses its own registry default range, while a non-empty one
+	// applies to all candidates.
 	Params []int `json:"params"`
 	// NFolds is the requested fold count; 0 lets the framework default
 	// (10, lowered automatically for small supervision).
 	NFolds int   `json:"folds"`
 	Seed   int64 `json:"seed"`
+	// Scorer names the scoring strategy: "" or "cv" is cross-validation
+	// (the paper's CVCP criterion), "bootstrap" is out-of-bag resampling,
+	// and any validity index name (silhouette, davies-bouldin,
+	// calinski-harabasz, dunn) scores by that relative criterion.
+	Scorer string `json:"scorer,omitempty"`
+	// BootstrapRounds is the round count when Scorer is "bootstrap";
+	// 0 means the framework default (10).
+	BootstrapRounds int `json:"bootstrap_rounds,omitempty"`
 	// Exactly one of LabelFraction / Constraints is set: LabelFraction > 0
 	// runs Scenario I (labels sampled from the dataset's label column with
 	// the job seed, exactly as cmd/cvcp does), a non-empty Constraints list
 	// runs Scenario II.
 	LabelFraction float64          `json:"label_fraction,omitempty"`
 	Constraints   []ConstraintSpec `json:"constraints,omitempty"`
+}
+
+// methods returns the candidate algorithm names of the job's grid.
+func (s Spec) methods() []string {
+	if len(s.Algorithms) > 0 {
+		return s.Algorithms
+	}
+	return []string{s.Algorithm}
 }
 
 // Event is one entry of a job's progress stream. Status events mark
@@ -252,7 +280,7 @@ func (j *Job) onProgress(done, total int) {
 }
 
 // finish records the selection outcome and publishes the terminal event.
-func (j *Job) finish(sel *corecvcp.Selection, err error) {
+func (j *Job) finish(res *corecvcp.Result, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status.Terminal() {
@@ -262,7 +290,7 @@ func (j *Job) finish(sel *corecvcp.Selection, err error) {
 	switch {
 	case err == nil:
 		j.status = StatusDone
-		j.result = resultView(sel)
+		j.result = resultView(res, len(j.spec.Algorithms) > 0)
 	case j.ctx.Err() != nil:
 		j.status = StatusCancelled
 	default:
@@ -281,37 +309,60 @@ func (j *Job) finish(sel *corecvcp.Selection, err error) {
 // claimed the running state. workers bounds this job's own grid
 // concurrency; limiter is the server-wide budget shared across jobs.
 func (j *Job) execute(limiter *runner.Limiter, workers int) {
-	entry, ok := lookupAlgorithm(j.spec.Algorithm)
-	if !ok {
+	spec, err := j.selectionSpec()
+	if err != nil {
 		// Validated at submission; only a racing re-registration can
-		// remove it.
-		j.finish(nil, errUnknownAlgorithm(j.spec.Algorithm))
+		// invalidate it.
+		j.finish(nil, err)
 		return
 	}
-	opt := corecvcp.Options{
+	spec.Options = corecvcp.Options{
 		NFolds:   j.spec.NFolds,
 		Seed:     j.spec.Seed,
 		Workers:  workers,
-		Context:  j.ctx,
 		Progress: j.onProgress,
 		Limiter:  limiter,
 	}
-	var sel *corecvcp.Selection
-	var err error
+	res, err := corecvcp.Select(j.ctx, spec)
+	j.finish(res, err)
+}
+
+// selectionSpec maps the persisted job spec onto the library's unified
+// selection Spec: the algorithm list becomes the Grid (per-candidate
+// registry defaults fill empty parameter ranges), the supervision fields
+// become a Supervision, and the scorer name resolves to a Scorer strategy.
+// Batch members go through exactly the same mapping.
+func (j *Job) selectionSpec() (corecvcp.Spec, error) {
+	grid := make(corecvcp.Grid, 0, len(j.spec.methods()))
+	for _, name := range j.spec.methods() {
+		entry, ok := lookupAlgorithm(name)
+		if !ok {
+			return corecvcp.Spec{}, errUnknownAlgorithm(name)
+		}
+		params := j.spec.Params
+		if len(params) == 0 {
+			params = entry.defaultParams
+		}
+		grid = append(grid, corecvcp.Candidate{Algorithm: entry.alg, Params: params})
+	}
+	var sup corecvcp.Supervision
 	if len(j.spec.Constraints) > 0 {
 		cons := constraints.NewSet()
 		for _, c := range j.spec.Constraints {
 			cons.Add(c.A, c.B, c.MustLink)
 		}
-		sel, err = corecvcp.SelectWithConstraints(entry.alg, j.ds, cons, j.spec.Params, opt)
+		sup = corecvcp.ConstraintSet(cons)
 	} else {
 		// Scenario I: sample the labeled objects exactly as cmd/cvcp does,
 		// so a job replays identically to the CLI with the same seed.
 		r := stats.NewRand(j.spec.Seed)
-		idx := j.ds.SampleLabels(r, j.spec.LabelFraction)
-		sel, err = corecvcp.SelectWithLabels(entry.alg, j.ds, idx, j.spec.Params, opt)
+		sup = corecvcp.Labels(j.ds.SampleLabels(r, j.spec.LabelFraction))
 	}
-	j.finish(sel, err)
+	scorer, err := resolveScorer(j.spec.Scorer, j.spec.BootstrapRounds)
+	if err != nil {
+		return corecvcp.Spec{}, err
+	}
+	return corecvcp.Spec{Dataset: j.ds, Grid: grid, Supervision: sup, Scorer: scorer}, nil
 }
 
 // ScoreView is one candidate's cross-validated score in a job result.
@@ -321,51 +372,94 @@ type ScoreView struct {
 	FoldScores []float64 `json:"fold_scores"`
 }
 
-// ResultView is the JSON form of a finished job's selection. It is also
-// the persisted result format in the job store.
+// ResultView is the JSON form of a finished job's selection: the winner's
+// fields at the top level plus, for cross-method jobs, one summary per grid
+// candidate. It is also the persisted result format in the job store.
 type ResultView struct {
 	Algorithm   string      `json:"algorithm"`
 	BestParam   int         `json:"best_param"`
 	BestScore   float64     `json:"best_score"`
 	Scores      []ScoreView `json:"scores"`
 	FinalLabels []int       `json:"final_labels"`
+	// Candidates summarizes every grid candidate of a cross-method
+	// ("algorithms") job — including the winner, and even when the list
+	// named a single method, so clients can rely on the field's presence
+	// from the submission shape alone. Absent for single-method
+	// ("algorithm") jobs.
+	Candidates []CandidateView `json:"candidates,omitempty"`
 }
 
-// resultView converts a library selection into its JSON/persisted form.
-func resultView(sel *corecvcp.Selection) *ResultView {
-	if sel == nil {
+// CandidateView is one grid candidate's outcome in a cross-method result.
+// Final labelings are reported only for the winner (the top-level
+// ResultView fields), keeping persisted results proportional to the grid,
+// not to grid × objects.
+type CandidateView struct {
+	Algorithm string      `json:"algorithm"`
+	BestParam int         `json:"best_param"`
+	BestScore float64     `json:"best_score"`
+	Scores    []ScoreView `json:"scores"`
+}
+
+func scoreViews(sel *corecvcp.Selection) []ScoreView {
+	out := make([]ScoreView, 0, len(sel.Scores))
+	for _, ps := range sel.Scores {
+		out = append(out, ScoreView{Param: ps.Param, Score: ps.Score, FoldScores: ps.FoldScores})
+	}
+	return out
+}
+
+// resultView converts a library selection result into its JSON/persisted
+// form. crossMethod reports whether the job was submitted with the
+// "algorithms" grid shape: those results always carry the Candidates
+// array, even for a one-entry grid, so the response shape follows the
+// submission shape rather than the candidate count.
+func resultView(res *corecvcp.Result, crossMethod bool) *ResultView {
+	if res == nil || res.Winner == nil {
 		return nil
 	}
-	res := &ResultView{
+	sel := res.Winner
+	out := &ResultView{
 		Algorithm:   sel.Algorithm,
 		BestParam:   sel.Best.Param,
 		BestScore:   sel.Best.Score,
+		Scores:      scoreViews(sel),
 		FinalLabels: sel.FinalLabels,
 	}
-	for _, ps := range sel.Scores {
-		res.Scores = append(res.Scores, ScoreView{Param: ps.Param, Score: ps.Score, FoldScores: ps.FoldScores})
+	if crossMethod {
+		for _, c := range res.PerCandidate {
+			out.Candidates = append(out.Candidates, CandidateView{
+				Algorithm: c.Algorithm,
+				BestParam: c.Best.Param,
+				BestScore: c.Best.Score,
+				Scores:    scoreViews(c),
+			})
+		}
 	}
-	return res
+	return out
 }
 
-// JobView is the JSON form of a job's state.
+// JobView is the JSON form of a job's state. Algorithm is the single
+// candidate method; cross-method jobs list their grid in Algorithms
+// instead.
 type JobView struct {
-	ID        string      `json:"id"`
-	Batch     string      `json:"batch,omitempty"`
-	Status    Status      `json:"status"`
-	Algorithm string      `json:"algorithm"`
-	Dataset   string      `json:"dataset"`
-	Objects   int         `json:"objects"`
-	Params    []int       `json:"params"`
-	Folds     int         `json:"folds"`
-	Seed      int64       `json:"seed"`
-	Created   time.Time   `json:"created"`
-	Started   *time.Time  `json:"started,omitempty"`
-	Finished  *time.Time  `json:"finished,omitempty"`
-	Done      int         `json:"done"`
-	Total     int         `json:"total"`
-	Error     string      `json:"error,omitempty"`
-	Result    *ResultView `json:"result,omitempty"`
+	ID         string      `json:"id"`
+	Batch      string      `json:"batch,omitempty"`
+	Status     Status      `json:"status"`
+	Algorithm  string      `json:"algorithm,omitempty"`
+	Algorithms []string    `json:"algorithms,omitempty"`
+	Scorer     string      `json:"scorer,omitempty"`
+	Dataset    string      `json:"dataset"`
+	Objects    int         `json:"objects"`
+	Params     []int       `json:"params"`
+	Folds      int         `json:"folds"`
+	Seed       int64       `json:"seed"`
+	Created    time.Time   `json:"created"`
+	Started    *time.Time  `json:"started,omitempty"`
+	Finished   *time.Time  `json:"finished,omitempty"`
+	Done       int         `json:"done"`
+	Total      int         `json:"total"`
+	Error      string      `json:"error,omitempty"`
+	Result     *ResultView `json:"result,omitempty"`
 }
 
 // View snapshots the job for JSON responses.
@@ -373,19 +467,21 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:        j.id,
-		Batch:     j.batch,
-		Status:    j.status,
-		Algorithm: j.spec.Algorithm,
-		Dataset:   j.dsName,
-		Objects:   j.objects,
-		Params:    j.spec.Params,
-		Folds:     j.spec.NFolds,
-		Seed:      j.spec.Seed,
-		Created:   j.created,
-		Done:      j.done,
-		Total:     j.total,
-		Error:     j.errMsg,
+		ID:         j.id,
+		Batch:      j.batch,
+		Status:     j.status,
+		Algorithm:  j.spec.Algorithm,
+		Algorithms: j.spec.Algorithms,
+		Scorer:     j.spec.Scorer,
+		Dataset:    j.dsName,
+		Objects:    j.objects,
+		Params:     j.spec.Params,
+		Folds:      j.spec.NFolds,
+		Seed:       j.spec.Seed,
+		Created:    j.created,
+		Done:       j.done,
+		Total:      j.total,
+		Error:      j.errMsg,
 	}
 	if !j.started.IsZero() {
 		t := j.started

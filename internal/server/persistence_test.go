@@ -199,11 +199,16 @@ func TestRestartRequeuesInterruptedJob(t *testing.T) {
 	// precision CSV round-trip make the recovery bit-identical.
 	r := stats.NewRand(11)
 	idx := ds.SampleLabels(r, 0.5)
-	sel, err := corecvcp.SelectWithLabels(corecvcp.FOSCOpticsDend{}, ds, idx, []int{3, 6},
-		corecvcp.Options{NFolds: 2, Seed: 11})
+	lres, err := corecvcp.Select(context.Background(), corecvcp.Spec{
+		Dataset:     ds,
+		Grid:        corecvcp.Grid{{Algorithm: corecvcp.FOSCOpticsDend{}, Params: []int{3, 6}}},
+		Supervision: corecvcp.Labels(idx),
+		Options:     corecvcp.Options{NFolds: 2, Seed: 11},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	sel := lres.Winner
 	got := rj.View()
 	if got.Result == nil || got.Result.BestParam != sel.Best.Param || got.Result.BestScore != sel.Best.Score {
 		t.Fatalf("re-queued selection = %+v, library selected (%d, %v)", got.Result, sel.Best.Param, sel.Best.Score)

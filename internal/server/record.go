@@ -160,19 +160,21 @@ func viewFromRecord(rec store.Record) JobView {
 	var sr specRecord
 	_ = json.Unmarshal(rec.Spec, &sr)
 	v := JobView{
-		ID:        rec.ID,
-		Batch:     rec.Batch,
-		Status:    Status(rec.Status),
-		Algorithm: sr.Spec.Algorithm,
-		Dataset:   sr.DatasetName,
-		Objects:   sr.Objects,
-		Params:    sr.Spec.Params,
-		Folds:     sr.Spec.NFolds,
-		Seed:      sr.Spec.Seed,
-		Created:   rec.Created,
-		Done:      sr.Done,
-		Total:     sr.Total,
-		Error:     rec.Error,
+		ID:         rec.ID,
+		Batch:      rec.Batch,
+		Status:     Status(rec.Status),
+		Algorithm:  sr.Spec.Algorithm,
+		Algorithms: sr.Spec.Algorithms,
+		Scorer:     sr.Spec.Scorer,
+		Dataset:    sr.DatasetName,
+		Objects:    sr.Objects,
+		Params:     sr.Spec.Params,
+		Folds:      sr.Spec.NFolds,
+		Seed:       sr.Spec.Seed,
+		Created:    rec.Created,
+		Done:       sr.Done,
+		Total:      sr.Total,
+		Error:      rec.Error,
 	}
 	if !rec.Started.IsZero() {
 		t := rec.Started

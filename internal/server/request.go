@@ -26,17 +26,20 @@ func badRequest(code, format string, args ...any) *apiError {
 
 // jobRequest is the JSON submission document.
 type jobRequest struct {
-	Name          string           `json:"name"`
-	CSV           string           `json:"csv"`
-	HasLabel      bool             `json:"has_label"`
-	Algorithm     string           `json:"algorithm"`
-	Params        []int            `json:"params"`
-	ParamMin      int              `json:"param_min"`
-	ParamMax      int              `json:"param_max"`
-	Folds         int              `json:"folds"`
-	Seed          int64            `json:"seed"`
-	LabelFraction float64          `json:"label_fraction"`
-	Constraints   []constraintJSON `json:"constraints"`
+	Name            string           `json:"name"`
+	CSV             string           `json:"csv"`
+	HasLabel        bool             `json:"has_label"`
+	Algorithm       string           `json:"algorithm"`
+	Algorithms      []string         `json:"algorithms"`
+	Scorer          string           `json:"scorer"`
+	BootstrapRounds int              `json:"bootstrap_rounds"`
+	Params          []int            `json:"params"`
+	ParamMin        int              `json:"param_min"`
+	ParamMax        int              `json:"param_max"`
+	Folds           int              `json:"folds"`
+	Seed            int64            `json:"seed"`
+	LabelFraction   float64          `json:"label_fraction"`
+	Constraints     []constraintJSON `json:"constraints"`
 }
 
 type constraintJSON struct {
@@ -69,12 +72,8 @@ func parseSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset, *a
 
 func parseJSONSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset, *apiError) {
 	var req jobRequest
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(&req); err != nil {
-		if apiErr := asSizeError(err); apiErr != nil {
-			return Spec{}, nil, apiErr
-		}
-		return Spec{}, nil, badRequest("invalid_request", "malformed JSON body: %v", err)
+	if apiErr := decodeStrictJSON(r.Body, &req); apiErr != nil {
+		return Spec{}, nil, apiErr
 	}
 	if req.CSV == "" {
 		return Spec{}, nil, badRequest("invalid_request", `JSON submissions require a non-empty "csv" field`)
@@ -90,16 +89,40 @@ func parseJSONSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset
 	return finishSpec(spec, ds)
 }
 
+// decodeStrictJSON decodes a JSON request document, rejecting fields the
+// schema does not define: a misspelled option must fail loudly as
+// invalid_request naming the field, never be silently ignored (a typoed
+// "seeed" would otherwise run the job with seed 0 and look successful).
+func decodeStrictJSON(r io.Reader, v any) *apiError {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if apiErr := asSizeError(err); apiErr != nil {
+			return apiErr
+		}
+		// encoding/json reports unknown fields as `json: unknown field "x"`;
+		// surface the field name in the structured error.
+		if name, ok := strings.CutPrefix(err.Error(), "json: unknown field "); ok {
+			return badRequest("invalid_request", "unknown field %s in JSON body", name)
+		}
+		return badRequest("invalid_request", "malformed JSON body: %v", err)
+	}
+	return nil
+}
+
 // specFromRequest assembles the job spec from a JSON submission's option
 // fields (shared by single-job and batch submissions). The spec still
 // needs finishSpec against a concrete dataset.
 func specFromRequest(req jobRequest) (Spec, *apiError) {
 	spec := Spec{
-		Algorithm:     req.Algorithm,
-		Params:        req.Params,
-		NFolds:        req.Folds,
-		Seed:          req.Seed,
-		LabelFraction: req.LabelFraction,
+		Algorithm:       req.Algorithm,
+		Algorithms:      req.Algorithms,
+		Scorer:          req.Scorer,
+		BootstrapRounds: req.BootstrapRounds,
+		Params:          req.Params,
+		NFolds:          req.Folds,
+		Seed:            req.Seed,
+		LabelFraction:   req.LabelFraction,
 	}
 	if len(spec.Params) == 0 && (req.ParamMin != 0 || req.ParamMax != 0) {
 		var apiErr *apiError
@@ -158,6 +181,14 @@ func parseRawSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset,
 func parseOptions(get func(string) string) (spec Spec, hasLabel bool, name string, apiErr *apiError) {
 	name = get("name")
 	spec.Algorithm = get("algorithm")
+	if s := get("algorithms"); s != "" {
+		for _, part := range strings.Split(s, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				spec.Algorithms = append(spec.Algorithms, part)
+			}
+		}
+	}
+	spec.Scorer = get("scorer")
 	intField := func(field string, dst *int) bool {
 		s := get(field)
 		if s == "" {
@@ -172,7 +203,8 @@ func parseOptions(get func(string) string) (spec Spec, hasLabel bool, name strin
 		return true
 	}
 	var pmin, pmax int
-	if !intField("folds", &spec.NFolds) || !intField("param_min", &pmin) || !intField("param_max", &pmax) {
+	if !intField("folds", &spec.NFolds) || !intField("param_min", &pmin) || !intField("param_max", &pmax) ||
+		!intField("bootstrap_rounds", &spec.BootstrapRounds) {
 		return Spec{}, false, "", apiErr
 	}
 	if s := get("seed"); s != "" {
@@ -254,11 +286,18 @@ func constraintFromKind(a, b int, kind string) (ConstraintSpec, error) {
 	}
 }
 
-// maxCandidates bounds the candidate parameter range of one job: each
-// candidate costs a full cross-validation, so a larger range is never a
-// legitimate request — and an unchecked param_min/param_max span would let
-// a tiny request allocate an enormous slice.
+// maxCandidates bounds the total candidate (algorithm, parameter) columns
+// of one job's grid: each candidate costs a full cross-validation, so a
+// larger grid is never a legitimate request — and an unchecked
+// param_min/param_max span would let a tiny request allocate an enormous
+// slice. For cross-method jobs the limit applies to the sum over all
+// algorithms, including registry-default ranges.
 const maxCandidates = 512
+
+// maxBootstrapRounds bounds one job's bootstrap resampling: every round
+// multiplies the grid like an extra fold, so an unchecked round count
+// would let a single small request occupy the server indefinitely.
+const maxBootstrapRounds = 512
 
 func paramRange(lo, hi int) ([]int, *apiError) {
 	if hi < lo {
@@ -305,18 +344,50 @@ func asSizeError(err error) *apiError {
 // finishSpec applies registry defaults and validates the assembled spec
 // against the parsed dataset.
 func finishSpec(spec Spec, ds *dataset.Dataset) (Spec, *dataset.Dataset, *apiError) {
-	if spec.Algorithm == "" {
-		spec.Algorithm = "fosc"
+	// gridColumns tallies the total candidate (algorithm, parameter)
+	// columns the job will run, counting registry-default ranges where
+	// Params is empty; the maxCandidates limit applies to this sum, so a
+	// cross-method job cannot multiply the per-job budget by its
+	// algorithm count.
+	gridColumns := 0
+	if len(spec.Algorithms) > 0 {
+		// Cross-method job: every named method must exist; an empty Params
+		// means each candidate keeps its own registry default range, so no
+		// defaulting happens here.
+		if spec.Algorithm != "" {
+			return Spec{}, nil, badRequest("invalid_request", `"algorithm" and "algorithms" are mutually exclusive`)
+		}
+		seen := map[string]bool{}
+		for _, name := range spec.Algorithms {
+			entry, ok := lookupAlgorithm(name)
+			if !ok {
+				return Spec{}, nil, badRequest("invalid_request", "%v", errUnknownAlgorithm(name))
+			}
+			if seen[name] {
+				return Spec{}, nil, badRequest("invalid_request", "duplicate algorithm %q in algorithms", name)
+			}
+			seen[name] = true
+			if len(spec.Params) > 0 {
+				gridColumns += len(spec.Params)
+			} else {
+				gridColumns += len(entry.defaultParams)
+			}
+		}
+	} else {
+		if spec.Algorithm == "" {
+			spec.Algorithm = "fosc"
+		}
+		entry, ok := lookupAlgorithm(spec.Algorithm)
+		if !ok {
+			return Spec{}, nil, badRequest("invalid_request", "%v", errUnknownAlgorithm(spec.Algorithm))
+		}
+		if len(spec.Params) == 0 {
+			spec.Params = append([]int(nil), entry.defaultParams...)
+		}
+		gridColumns = len(spec.Params)
 	}
-	entry, ok := lookupAlgorithm(spec.Algorithm)
-	if !ok {
-		return Spec{}, nil, badRequest("invalid_request", "%v", errUnknownAlgorithm(spec.Algorithm))
-	}
-	if len(spec.Params) == 0 {
-		spec.Params = append([]int(nil), entry.defaultParams...)
-	}
-	if len(spec.Params) > maxCandidates {
-		return Spec{}, nil, badRequest("invalid_request", "%d candidate parameters, limit %d", len(spec.Params), maxCandidates)
+	if gridColumns > maxCandidates {
+		return Spec{}, nil, badRequest("invalid_request", "%d candidate grid columns, limit %d", gridColumns, maxCandidates)
 	}
 	for _, p := range spec.Params {
 		if p < 1 {
@@ -326,8 +397,29 @@ func finishSpec(spec Spec, ds *dataset.Dataset) (Spec, *dataset.Dataset, *apiErr
 	if spec.NFolds < 0 {
 		return Spec{}, nil, badRequest("invalid_request", "folds must be >= 0 (0 means the default)")
 	}
+	if _, err := resolveScorer(spec.Scorer, spec.BootstrapRounds); err != nil {
+		return Spec{}, nil, badRequest("invalid_request", "%v", err)
+	}
+	if spec.BootstrapRounds < 0 {
+		return Spec{}, nil, badRequest("invalid_request", "bootstrap_rounds must be >= 0 (0 means the default)")
+	}
+	if spec.BootstrapRounds > maxBootstrapRounds {
+		return Spec{}, nil, badRequest("invalid_request", "%d bootstrap rounds, limit %d", spec.BootstrapRounds, maxBootstrapRounds)
+	}
+	if spec.BootstrapRounds > 0 && spec.Scorer != "bootstrap" {
+		return Spec{}, nil, badRequest("invalid_request", `bootstrap_rounds requires scorer "bootstrap"`)
+	}
+	if spec.NFolds > 0 && spec.Scorer != "" && spec.Scorer != "cv" {
+		// Bootstrap and validity scoring never cross-validate; accepting
+		// folds here would silently ignore it, the exact failure mode the
+		// strict option handling exists to prevent.
+		return Spec{}, nil, badRequest("invalid_request", `folds applies only to the cross-validation scorer (scorer "cv")`)
+	}
 	hasLabels := spec.LabelFraction != 0
 	hasCons := len(spec.Constraints) > 0
+	if spec.Scorer == "bootstrap" && !hasLabels {
+		return Spec{}, nil, badRequest("invalid_request", `scorer "bootstrap" requires label_fraction supervision`)
+	}
 	switch {
 	case hasLabels && hasCons:
 		return Spec{}, nil, badRequest("invalid_request", "label_fraction and constraints are mutually exclusive")

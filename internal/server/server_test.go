@@ -107,11 +107,16 @@ func TestEndToEndMatchesDirectSelection(t *testing.T) {
 	// Replay the exact server-side procedure through the library.
 	r := stats.NewRand(11)
 	idx := ds.SampleLabels(r, 0.5)
-	sel, err := corecvcp.SelectWithLabels(corecvcp.FOSCOpticsDend{}, ds, idx, []int{3, 6},
-		corecvcp.Options{NFolds: 3, Seed: 11})
+	lres, err := corecvcp.Select(context.Background(), corecvcp.Spec{
+		Dataset:     ds,
+		Grid:        corecvcp.Grid{{Algorithm: corecvcp.FOSCOpticsDend{}, Params: []int{3, 6}}},
+		Supervision: corecvcp.Labels(idx),
+		Options:     corecvcp.Options{NFolds: 3, Seed: 11},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	sel := lres.Winner
 	if final.Result.BestParam != sel.Best.Param {
 		t.Fatalf("server selected %d, library selected %d", final.Result.BestParam, sel.Best.Param)
 	}
