@@ -17,10 +17,17 @@
 //	GET    /v1/batches/{id}     aggregate per-item batch status
 //	GET    /healthz             liveness
 //
-// With -store-dir the job store is durable: every job transition is
-// appended to a write-ahead log in that directory, and a restarted server
-// lists the finished jobs and re-queues (and deterministically re-runs)
-// whatever was interrupted. Without it, jobs live in memory only.
+// With -store-dir the job store is durable: every job transition and
+// progress event is appended to a write-ahead log in that directory, and
+// a restarted server lists the finished jobs — with their full SSE event
+// histories, replayed with identical sequence numbers — and re-queues
+// (and deterministically re-runs) whatever was interrupted. Without it,
+// jobs live in memory only.
+//
+// The HTTP server runs with -read-header-timeout, -read-timeout and
+// -idle-timeout armed but no global write timeout: SSE streams stay open
+// as long as the job runs, protected instead by a per-event write
+// deadline inside the handler.
 //
 // On SIGTERM/SIGINT the server stops accepting jobs, gives running and
 // queued jobs -drain-timeout to finish, force-cancels whatever remains,
@@ -52,6 +59,9 @@ func main() {
 		maxBody      = flag.Int64("max-body", 32<<20, "request body size limit in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain waits for jobs before force-cancelling")
 		storeDir     = flag.String("store-dir", "", "directory for the durable job store (empty = in-memory, lost on exit)")
+		readHeader   = flag.Duration("read-header-timeout", 10*time.Second, "time limit for reading a request's headers")
+		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "time limit for reading a whole request, body included — size it to -max-body over your slowest client link (0 = none)")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
 	)
 	flag.Parse()
 
@@ -75,7 +85,17 @@ func main() {
 	}
 
 	mgr := server.NewManager(cfg)
-	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(mgr)}
+	// No WriteTimeout: a global one would kill every SSE stream that
+	// outlives it. The SSE handler arms a per-event write deadline
+	// instead (and clears the read deadline for the stream's lifetime),
+	// so dead clients still tear down within one timeout.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.NewHandler(mgr),
+		ReadHeaderTimeout: *readHeader,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -97,9 +97,11 @@ var requiredAPIDocs = map[string][]string{
 	},
 	"docs/api.md": {
 		"algorithms", "scorer", "bootstrap_rounds", "candidates",
+		"Last-Event-ID", "read-header-timeout", "read-timeout", "idle-timeout",
 	},
 	"docs/architecture.md": {
 		"Select", "Spec", "Grid", "Supervision", "Scorer",
+		"EventLog", "Last-Event-ID",
 	},
 }
 

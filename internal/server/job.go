@@ -89,8 +89,9 @@ func (s Spec) methods() []string {
 
 // Event is one entry of a job's progress stream. Status events mark
 // lifecycle transitions; progress events report grid completion and are
-// monotonically increasing in Done (the engine serializes its progress
-// callbacks).
+// monotonically increasing in Done within one run (the engine
+// serializes its progress callbacks; a crash-recovery re-queue restarts
+// the grid, so a replayed stream may carry two runs' progress).
 type Event struct {
 	Seq    int    `json:"seq"`
 	Type   string `json:"type"` // "status" or "progress"
@@ -105,6 +106,94 @@ type Event struct {
 // catches up from the replay log after the channel closes, so the
 // terminal status event is never lost).
 const subscriberBuffer = 256
+
+// eventTailCap bounds the per-job in-memory event history. The durable
+// event log (the store) is the source of truth for full replay; the job
+// keeps only this recent tail so replays and catch-ups that are nearly
+// current never touch the store, and a long-running job's memory stays
+// proportional to the tail, not to its grid.
+const eventTailCap = 256
+
+// Progress coalescing: the engine reports every completed grid cell, but
+// publishing (and durably logging) an event per cell would make huge
+// grids emit thousands of near-identical events. A progress event is
+// published when done has advanced by at least total/maxProgressEvents
+// cells (so a full run emits on the order of maxProgressEvents
+// delta-driven events however large the grid), plus up to
+// maxProgressEvents interval-driven events — at most one per
+// progressMinInterval — so slow grids still show movement without
+// making the log proportional to run *duration*; the final cell always
+// publishes. Total progress events per run: at most
+// 2*maxProgressEvents + 1. Grids with at most maxProgressEvents cells
+// publish every cell, exactly as before coalescing existed.
+const (
+	maxProgressEvents   = 256
+	progressMinInterval = 200 * time.Millisecond
+)
+
+// seqRequeueGap is added to the sequence counter when a restart resumes
+// a job from its durable event log before publishing anything new. A
+// crash can lose an fsync-coalesced suffix of events that live
+// subscribers already received; if post-restart events re-used those
+// sequence numbers for different content, a client resuming with a
+// pre-crash Last-Event-ID would silently skip them. One incarnation can
+// publish at most 2*maxProgressEvents+1 progress events (the coalescing
+// cap) plus a handful of status events, so this gap strictly clears
+// every sequence number the lost suffix could have carried. Gaps are
+// harmless to consumers: ids only need to be monotone.
+const seqRequeueGap = 4 * maxProgressEvents
+
+// jobEventLog is the job's view of the durable per-job event log: the
+// Manager implements it over the store, serializing server events into
+// opaque store entries and back. Appends happen inside publishLocked —
+// under the job mutex — which is what guarantees the log's sequence
+// order matches publish order. An append never performs its own fsync
+// (the file store coalesces syncs off the append path), so it is
+// normally a buffered write; it can briefly contend on the store mutex
+// with a concurrent record commit, a deliberate trade for the ordering
+// guarantee.
+type jobEventLog interface {
+	appendEvents(jobID string, evs []Event)
+	eventsSince(jobID string, afterSeq int) []Event
+}
+
+// eventTail is a fixed-capacity ring buffer of a job's most recent
+// events. Callers synchronize (the job mutex).
+type eventTail struct {
+	buf   []Event // ring storage, grows up to eventTailCap then wraps
+	start int     // index of the oldest entry once the ring is full
+	n     int     // live entries
+}
+
+func (t *eventTail) push(ev Event) {
+	if t.n < eventTailCap {
+		t.buf = append(t.buf, ev)
+		t.n++
+		return
+	}
+	t.buf[t.start] = ev
+	t.start = (t.start + 1) % t.n
+}
+
+// since returns the tail's events with Seq > after, and whether the tail
+// reaches back far enough to answer authoritatively: its oldest entry
+// must be at or before after+1, otherwise events older than the tail may
+// be missing and the caller should prefer the durable log. The events
+// are returned either way — a caller whose log read comes back empty
+// (the job was evicted mid-stream) serves the partial tail rather than
+// nothing.
+func (t *eventTail) since(after int) ([]Event, bool) {
+	if t.n == 0 {
+		return nil, false
+	}
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		if ev := t.buf[(t.start+i)%t.n]; ev.Seq > after {
+			out = append(out, ev)
+		}
+	}
+	return out, t.buf[t.start].Seq <= after+1
+}
 
 // Job is one selection job. All mutable state is guarded by mu; the
 // dataset and spec are immutable after submission. ds is nil for terminal
@@ -123,6 +212,8 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	log jobEventLog // durable event mirror; never nil
+
 	mu       sync.Mutex
 	status   Status
 	started  time.Time
@@ -132,14 +223,31 @@ type Job struct {
 	errMsg   string
 	result   *ResultView
 	seq      int
-	events   []Event
+	tail     eventTail
 	subs     map[chan Event]struct{}
+
+	// Progress coalescing state: the done value and wall time of the
+	// last published progress event, and how many interval-driven
+	// publishes the job has spent (capped at maxProgressEvents).
+	lastProgressDone int
+	lastProgressPub  time.Time
+	intervalPubs     int
 }
 
 // newJob builds a queued job. dsBlob is the pre-serialized dataset
 // payload for persistence — callers build it once, outside the manager
 // lock (marshalDataset), or reuse the payload of a replayed record.
-func newJob(id, batch string, spec Spec, ds *dataset.Dataset, dsBlob []byte, parent context.Context) *Job {
+// prior is the job's replayed event history and restored marks a job
+// re-queued from a restart: prior seeds the sequence counter and the
+// tail so the fresh queued event continues the existing log instead of
+// restarting seq numbering, and a restored job gaps its sequence
+// counter even when prior is empty — the log may have been wholly lost
+// to WAL corruption, yet a pre-crash subscriber still holds the old
+// sequence numbers (see seqRequeueGap). seqFloor is the record's
+// persisted sequence high-water mark: record writes fsync even when
+// event appends are failing, so seeding from max(prior, seqFloor)
+// keeps the gap sound across repeated crashes with a stalled log.
+func newJob(id, batch string, spec Spec, ds *dataset.Dataset, dsBlob []byte, parent context.Context, log jobEventLog, prior []Event, seqFloor int, restored bool) *Job {
 	ctx, cancel := context.WithCancel(parent)
 	j := &Job{
 		id:      id,
@@ -153,12 +261,31 @@ func newJob(id, batch string, spec Spec, ds *dataset.Dataset, dsBlob []byte, par
 		ctx:     ctx,
 		cancel:  cancel,
 		status:  StatusQueued,
+		log:     log,
 		subs:    map[chan Event]struct{}{},
 	}
 	j.mu.Lock()
+	j.seedEventsLocked(prior)
+	if seqFloor > j.seq {
+		j.seq = seqFloor
+	}
+	if restored {
+		j.seq += seqRequeueGap // see seqRequeueGap: never reuse possibly-lost seqs
+	}
 	j.publishLocked(Event{Type: "status", Status: StatusQueued})
 	j.mu.Unlock()
 	return j
+}
+
+// seedEventsLocked installs replayed history: the sequence counter
+// resumes past it and the tail holds its most recent entries. Seeded
+// events are already in the durable log, so they are not re-appended and
+// there are no subscribers yet to fan them out to. Callers hold mu.
+func (j *Job) seedEventsLocked(prior []Event) {
+	for _, ev := range prior {
+		j.seq = ev.Seq
+		j.tail.push(ev)
+	}
 }
 
 // ID returns the job's identifier.
@@ -174,13 +301,18 @@ func (j *Job) Status() Status {
 	return j.status
 }
 
-// publishLocked appends an event to the replay log and fans it out to the
-// live subscribers. Callers hold mu. Slow subscribers (full buffers) skip
-// the event rather than blocking the engine.
+// publishLocked assigns the next sequence number, mirrors the event into
+// the durable log, keeps it in the in-memory tail and fans it out to the
+// live subscribers. Callers hold mu. Slow subscribers (full buffers)
+// skip the event rather than blocking the engine — the SSE handler
+// catches up from the log. Appending under mu is what makes the log's
+// order equal the publish order; the append is a buffered write that
+// never fsyncs on its own (see jobEventLog).
 func (j *Job) publishLocked(ev Event) {
 	j.seq++
 	ev.Seq = j.seq
-	j.events = append(j.events, ev)
+	j.tail.push(ev)
+	j.log.appendEvents(j.id, []Event{ev})
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -198,14 +330,27 @@ func (j *Job) closeSubsLocked() {
 	j.subs = nil
 }
 
-// Subscribe returns a replay of all events published so far plus a channel
-// of future events. The channel is closed after the terminal event (or
-// immediately when the job already finished). The returned cancel function
-// releases the subscription; it is safe to call after the channel closed.
-func (j *Job) Subscribe() ([]Event, <-chan Event, func()) {
+// SubscribeSince returns a replay of the events with Seq > after plus a
+// channel of future events. after 0 replays the full history (served
+// from the durable log when it reaches past the in-memory tail); a
+// client resuming with Last-Event-ID passes its last seen sequence
+// number and re-receives nothing before it. The channel is closed after
+// the terminal event (or immediately when the job already finished).
+// The returned cancel function releases the subscription; it is safe to
+// call after the channel closed. The replay and the subscription are
+// atomic — an event is in the replay or will arrive on the channel;
+// late-buffered duplicates are possible and callers drop events with
+// Seq at or below the last one written.
+func (j *Job) SubscribeSince(after int) ([]Event, <-chan Event, func()) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	replay := append([]Event(nil), j.events...)
+	if after > j.seq {
+		// A sequence number this job never issued (a stale or foreign
+		// Last-Event-ID): treat it as unknown and replay in full, rather
+		// than silently suppressing every event below the bogus cutoff.
+		after = 0
+	}
+	replay := j.eventsSinceLocked(after)
 	ch := make(chan Event, subscriberBuffer)
 	if j.status.Terminal() {
 		close(ch)
@@ -223,18 +368,48 @@ func (j *Job) Subscribe() ([]Event, <-chan Event, func()) {
 	return replay, ch, cancel
 }
 
-// EventsSince returns the events with Seq > seq, in order. SSE handlers use
-// it to catch up after a subscription channel closes: a slow subscriber may
-// have had buffered events dropped, and the terminal status event must
-// still reach it.
-func (j *Job) EventsSince(seq int) []Event {
+// EventsSince returns the events with Seq > after, in order. SSE
+// handlers use it to catch up after a subscription channel closes: a
+// slow subscriber may have had buffered events dropped, and the terminal
+// status event must still reach it.
+func (j *Job) EventsSince(after int) []Event {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	i := len(j.events)
-	for i > 0 && j.events[i-1].Seq > seq {
-		i--
+	return j.eventsSinceLocked(after)
+}
+
+// eventsSinceLocked serves scan-since-seq from the in-memory tail when
+// it reaches back far enough, and from the durable log otherwise.
+// Callers hold mu; the log read is an in-memory lookup in both store
+// backends, so holding the job mutex across it is cheap. When the log
+// has nothing (the job was evicted mid-stream, dropping its log, while
+// this handler already held the *Job), the partial tail is served
+// instead of an empty stream — it always holds the newest events, so
+// the terminal status still reaches the subscriber.
+func (j *Job) eventsSinceLocked(after int) []Event {
+	if after >= j.seq {
+		return nil
 	}
-	return append([]Event(nil), j.events[i:]...)
+	evs, ok := j.tail.since(after)
+	if ok {
+		return evs
+	}
+	logged := j.log.eventsSince(j.id, after)
+	if len(logged) == 0 {
+		return evs
+	}
+	// The log can lag the tail — appends may have been failing (disk
+	// full; the manager swallows append errors) or the log may have
+	// been dropped by a concurrent eviction. Graft the tail's newer
+	// events on so the newest — the terminal status above all — are
+	// never lost from a catch-up.
+	last := logged[len(logged)-1].Seq
+	for _, ev := range evs {
+		if ev.Seq > last {
+			logged = append(logged, ev)
+		}
+	}
+	return logged
 }
 
 // requestCancel cancels the job's context and, when the job has not started
@@ -267,8 +442,11 @@ func (j *Job) claimRun() bool {
 	return true
 }
 
-// onProgress is the engine progress hook; the engine serializes calls and
-// guarantees done is monotone, so the event stream is too.
+// onProgress is the engine progress hook; the engine serializes calls
+// and guarantees done is monotone, so the event stream is too. The
+// counters always update (GET /v1/jobs/{id} reports the exact state),
+// but consecutive progress events are coalesced — see the
+// maxProgressEvents doc — so a huge grid's event log stays bounded.
 func (j *Job) onProgress(done, total int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -276,7 +454,37 @@ func (j *Job) onProgress(done, total int) {
 		return
 	}
 	j.done, j.total = done, total
+	if !j.shouldPublishProgressLocked(done, total) {
+		return
+	}
+	j.lastProgressDone = done
+	j.lastProgressPub = time.Now()
 	j.publishLocked(Event{Type: "progress", Done: done, Total: total})
+}
+
+func (j *Job) shouldPublishProgressLocked(done, total int) bool {
+	if done >= total {
+		return true // the final cell always publishes
+	}
+	// Ceiling division: a floor stride would let grids just above a
+	// multiple of maxProgressEvents emit up to ~25% more delta-driven
+	// events than the documented cap.
+	stride := (total + maxProgressEvents - 1) / maxProgressEvents
+	if stride < 1 {
+		stride = 1
+	}
+	if done-j.lastProgressDone >= stride {
+		return true
+	}
+	// Interval-driven publishes are capped: without the cap, a grid
+	// whose cells each outlast the interval would publish every cell
+	// and grow the durable log with run duration instead of staying
+	// bounded.
+	if j.intervalPubs < maxProgressEvents && time.Since(j.lastProgressPub) >= progressMinInterval {
+		j.intervalPubs++
+		return true
+	}
+	return false
 }
 
 // finish records the selection outcome and publishes the terminal event.

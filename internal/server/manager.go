@@ -128,6 +128,44 @@ func (m *Manager) replay() {
 	m.applyEviction(m.trimFinishedLocked())
 }
 
+// appendEvents mirrors published job events into the store's event log
+// (jobEventLog's write half). Failures are swallowed like persist's: the
+// live stream is still served from memory, and the log degrades to a
+// shorter replay instead of failing the job.
+func (m *Manager) appendEvents(jobID string, evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	out := make([]store.Event, 0, len(evs))
+	for _, ev := range evs {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			continue
+		}
+		out = append(out, store.Event{Seq: ev.Seq, Data: data})
+	}
+	_ = m.store.AppendEvents(jobID, out)
+}
+
+// eventsSince reads the job's persisted events with Seq > afterSeq back
+// out of the store (jobEventLog's read half). Entries that fail to
+// decode are skipped.
+func (m *Manager) eventsSince(jobID string, afterSeq int) []Event {
+	recs, err := m.store.EventsSince(jobID, afterSeq)
+	if err != nil {
+		return nil
+	}
+	evs := make([]Event, 0, len(recs))
+	for _, r := range recs {
+		var ev Event
+		if err := json.Unmarshal(r.Data, &ev); err != nil {
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
 func (m *Manager) restore(rec store.Record) {
 	if rec.ID == metaID {
 		// The counter high-water mark: jobs evicted before the restart
@@ -159,7 +197,7 @@ func (m *Manager) restore(rec store.Record) {
 	if n, ok := numericSuffix(rec.Batch, "batch-"); ok && n > m.nextBatch {
 		m.nextBatch = n
 	}
-	j, requeue := jobFromRecord(rec, m.baseCtx)
+	j, requeue := jobFromRecord(rec, m.baseCtx, m, m.eventsSince(rec.ID, 0))
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	if j.batch != "" {
@@ -264,9 +302,10 @@ func (m *Manager) trimFinishedLocked() (evicted []string, writeMeta bool) {
 // applyEviction performs the store writes of an eviction decided by
 // trimFinishedLocked: the counter high-water mark FIRST (a crash between
 // the writes must never leave deleted IDs uncovered), then the record
-// deletes. Meta writes serialize under metaMu with counters read fresh at
-// write time — the counters only grow and every deletable ID was minted
-// before any write, so the last writer always persists a covering value.
+// deletes (each of which also drops the job's event log). Meta writes
+// serialize under metaMu with counters read fresh at write time — the
+// counters only grow and every deletable ID was minted before any write,
+// so the last writer always persists a covering value.
 func (m *Manager) applyEviction(evicted []string, writeMeta bool) {
 	if writeMeta {
 		m.metaMu.Lock()
@@ -342,8 +381,9 @@ func (m *Manager) publish(jobs []*Job, b *batchState) error {
 	return nil
 }
 
-// discardPersisted erases the durable trace of a job that was persisted
-// but never published (a rollback, or a drain that began mid-submission).
+// discardPersisted erases the durable trace — record and event log — of
+// a job that never published (a rollback, a failed Put whose queued
+// event already reached the log, or a drain that began mid-submission).
 // If the delete fails too, a terminal cancelled record is written
 // best-effort — a terminal record is never re-queued by a restart, so the
 // job cannot run either way.
@@ -370,10 +410,13 @@ func (m *Manager) Submit(spec Spec, ds *dataset.Dataset) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := newJob(ids[0], "", spec, ds, blob, m.baseCtx)
+	j := newJob(ids[0], "", spec, ds, blob, m.baseCtx, m, nil, 0, false)
 	if err := m.store.Put(j.record()); err != nil {
 		m.release(1)
-		j.cancel()
+		// Discard, don't just cancel: newJob already appended the queued
+		// event to the store's log, and the consumed ID is never reused —
+		// an orphaned event log would otherwise live in the store forever.
+		m.discardPersisted(j)
 		return nil, fmt.Errorf("server: persisting job: %w", err)
 	}
 	if err := m.publish([]*Job{j}, nil); err != nil {
@@ -406,9 +449,12 @@ func (m *Manager) SubmitBatch(items []BatchItem) (BatchView, error) {
 	b := &batchState{id: bid, created: time.Now()}
 	jobs := make([]*Job, 0, len(items))
 	for i, it := range items {
-		j := newJob(ids[i], bid, it.Spec, it.Dataset, blobs[i], m.baseCtx)
+		j := newJob(ids[i], bid, it.Spec, it.Dataset, blobs[i], m.baseCtx, m, nil, 0, false)
 		if err := m.store.Put(j.record()); err != nil {
-			// Roll the partial batch back so it never half-exists.
+			// Roll the partial batch back so it never half-exists — the
+			// failing job included: its record never landed, but its
+			// queued event is already in the store's log.
+			m.discardPersisted(j)
 			for _, created := range jobs {
 				m.discardPersisted(created)
 			}

@@ -443,3 +443,32 @@ func TestEvictionDeletesFromStore(t *testing.T) {
 		t.Fatal("retained job missing from the store")
 	}
 }
+
+// A failed submission must not leave an orphaned event log in the store:
+// the queued event is appended before the record Put, and the consumed
+// ID is never reused, so a leak here would be permanent.
+func TestFailedSubmitLeavesNoEventLog(t *testing.T) {
+	ds, _ := testDataset(t, 30)
+	fs := &flakyStore{Store: store.NewMemory(), failOn: 1}
+	m := NewManager(Config{MaxRunningJobs: 1, WorkerBudget: 2, Store: fs})
+	defer m.Shutdown(context.Background())
+
+	if _, err := m.Submit(quickSpec(), ds); !errors.Is(err, errFlaky) {
+		t.Fatalf("Submit = %v, want the injected failure", err)
+	}
+	if evs, err := fs.Store.EventsSince("job-000000001", 0); err != nil || len(evs) != 0 {
+		t.Fatalf("failed submission left %d orphaned events (err %v)", len(evs), err)
+	}
+
+	// Same for the batch member whose own Put fails.
+	fs.failOn = fs.puts + 2 // fail the 2nd member's record write
+	items := []BatchItem{{Spec: quickSpec(), Dataset: ds}, {Spec: quickSpec(), Dataset: ds}}
+	if _, err := m.SubmitBatch(items); !errors.Is(err, errFlaky) {
+		t.Fatalf("SubmitBatch = %v, want the injected failure", err)
+	}
+	for _, id := range []string{"job-000000002", "job-000000003"} {
+		if evs, _ := fs.Store.EventsSince(id, 0); len(evs) != 0 {
+			t.Fatalf("rolled-back batch left %d orphaned events for %s", len(evs), id)
+		}
+	}
+}

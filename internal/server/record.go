@@ -23,6 +23,13 @@ type specRecord struct {
 	Objects     int    `json:"objects"`
 	Done        int    `json:"done"`
 	Total       int    `json:"total"`
+	// LastSeq is the event sequence high-water mark at the time of the
+	// record write. Record puts fsync independently of the (coalesced,
+	// swallowed-on-error) event appends, so this floor survives even
+	// when the event log stalls — restart seeding takes the max of the
+	// replayed log and this value before applying seqRequeueGap, keeping
+	// Last-Event-ID resume collision-safe across repeated crashes.
+	LastSeq int `json:"last_seq,omitempty"`
 }
 
 // datasetRecord is the opaque dataset payload of a non-terminal record —
@@ -56,7 +63,7 @@ func (j *Job) record() store.Record {
 	defer j.mu.Unlock()
 	specJSON, _ := json.Marshal(specRecord{
 		Spec: j.spec, DatasetName: j.dsName, Objects: j.objects,
-		Done: j.done, Total: j.total,
+		Done: j.done, Total: j.total, LastSeq: j.seq,
 	})
 	rec := store.Record{
 		ID:       j.id,
@@ -79,21 +86,25 @@ func (j *Job) record() store.Record {
 }
 
 // jobFromRecord rebuilds a job from a persisted record during startup
-// replay. Terminal records resurrect as finished jobs (result and
-// timestamps intact, event history condensed to the lifecycle
-// transitions). Non-terminal records — the jobs a previous process was
-// killed around — rebuild their dataset and come back as queued jobs;
-// requeue reports that the caller must enqueue them. A record that cannot
-// be decoded comes back as a failed job carrying the decode error, so
-// corruption is visible in listings instead of silently dropped.
-func jobFromRecord(rec store.Record, parent context.Context) (j *Job, requeue bool) {
+// replay. prior is the job's persisted event log (may be empty for
+// stores written before event persistence existed). Terminal records
+// resurrect as finished jobs — result, timestamps and full event history
+// intact, so SSE replay streams the identical sequence it streamed
+// before the restart. Non-terminal records — the jobs a previous process
+// was killed around — rebuild their dataset and come back as queued
+// jobs appending to their existing log (seq numbering continues);
+// requeue reports that the caller must enqueue them. A record that
+// cannot be decoded comes back as a failed job carrying the decode
+// error, so corruption is visible in listings instead of silently
+// dropped.
+func jobFromRecord(rec store.Record, parent context.Context, log jobEventLog, prior []Event) (j *Job, requeue bool) {
 	var sr specRecord
 	if err := json.Unmarshal(rec.Spec, &sr); err != nil {
-		return corruptJob(rec, fmt.Errorf("decoding job spec: %w", err)), false
+		return corruptJob(rec, fmt.Errorf("decoding job spec: %w", err), log, prior), false
 	}
 	status := Status(rec.Status)
 	if status.Terminal() {
-		j := newResurrectedJob(rec, sr, status)
+		j := newResurrectedJob(rec, sr, status, log, prior)
 		if len(rec.Result) > 0 {
 			var res ResultView
 			if err := json.Unmarshal(rec.Result, &res); err == nil {
@@ -106,21 +117,25 @@ func jobFromRecord(rec store.Record, parent context.Context) (j *Job, requeue bo
 	// Interrupted mid-flight: rebuild the dataset and re-queue.
 	var dr datasetRecord
 	if err := json.Unmarshal(rec.Dataset, &dr); err != nil {
-		return corruptJob(rec, fmt.Errorf("decoding job dataset: %w", err)), false
+		return corruptJob(rec, fmt.Errorf("decoding job dataset: %w", err), log, prior), false
 	}
 	ds, err := dataset.ReadCSV(sr.DatasetName, strings.NewReader(dr.CSV), dr.HasLabel)
 	if err != nil {
-		return corruptJob(rec, fmt.Errorf("rebuilding job dataset: %w", err)), false
+		return corruptJob(rec, fmt.Errorf("rebuilding job dataset: %w", err), log, prior), false
 	}
-	j = newJob(rec.ID, rec.Batch, sr.Spec, ds, rec.Dataset, parent)
+	j = newJob(rec.ID, rec.Batch, sr.Spec, ds, rec.Dataset, parent, log, prior, sr.LastSeq, true)
 	j.created = rec.Created // keep the original submission time
 	return j, true
 }
 
-// newResurrectedJob builds a terminal job shell from a record: no context,
-// no dataset, no live subscribers — just the persisted state plus a
-// condensed event history so SSE replay still shows the lifecycle.
-func newResurrectedJob(rec store.Record, sr specRecord, status Status) *Job {
+// newResurrectedJob builds a terminal job shell from a record: no
+// context, no dataset, no live subscribers — the persisted state plus
+// the replayed event history. When the log already ends with the
+// terminal status (the normal case for stores with event persistence)
+// nothing is appended and replay is bit-identical to the pre-restart
+// stream; a legacy or truncated log gets a condensed completion (the
+// missing lifecycle events) appended so the stream still ends terminal.
+func newResurrectedJob(rec store.Record, sr specRecord, status Status, log jobEventLog, prior []Event) *Job {
 	j := &Job{
 		id:       rec.ID,
 		batch:    rec.Batch,
@@ -134,18 +149,44 @@ func newResurrectedJob(rec store.Record, sr specRecord, status Status) *Job {
 		done:     sr.Done,
 		total:    sr.Total,
 		errMsg:   rec.Error,
+		log:      log,
 	}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.cancel()
-	j.publishLocked(Event{Type: "status", Status: StatusQueued})
-	j.publishLocked(Event{Type: "status", Status: status})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seedEventsLocked(prior)
+	if sr.LastSeq > j.seq {
+		j.seq = sr.LastSeq // the record's fsynced high-water mark; see specRecord.LastSeq
+	}
+	if j.seq == 0 {
+		// Legacy record (pre-event-persistence): condensed history.
+		j.publishLocked(Event{Type: "status", Status: StatusQueued})
+		j.publishLocked(Event{Type: "status", Status: status})
+		return j
+	}
+	lastIsTerminal := false
+	if len(prior) > 0 {
+		last := prior[len(prior)-1]
+		lastIsTerminal = last.Type == "status" && last.Status == status
+	}
+	if !lastIsTerminal {
+		// Completing a truncated (or wholly lost) log: gap the seq first
+		// so the appended events cannot collide with a crash-lost suffix
+		// a subscriber may have seen (see seqRequeueGap).
+		j.seq += seqRequeueGap
+		if len(prior) == 0 {
+			j.publishLocked(Event{Type: "status", Status: StatusQueued})
+		}
+		j.publishLocked(Event{Type: "status", Status: status})
+	}
 	return j
 }
 
 // corruptJob marks an undecodable record as a failed job so it stays
 // visible.
-func corruptJob(rec store.Record, err error) *Job {
-	j := newResurrectedJob(rec, specRecord{DatasetName: "(corrupt record)"}, StatusFailed)
+func corruptJob(rec store.Record, err error, log jobEventLog, prior []Event) *Job {
+	j := newResurrectedJob(rec, specRecord{DatasetName: "(corrupt record)"}, StatusFailed, log, prior)
 	j.errMsg = fmt.Sprintf("restored from store: %v", err)
 	if j.finished.IsZero() {
 		j.finished = time.Now()

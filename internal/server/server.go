@@ -26,12 +26,16 @@
 // goroutines.
 //
 // Job state is delegated to a store.Store (Config.Store): every lifecycle
-// transition is mirrored into it, listings page through it, and finished
-// jobs beyond the retention window are evicted oldest-first. With the
-// default in-memory store the service is exactly as ephemeral as before
-// the store existed; with a file store (cvcpd -store-dir) the manager
-// replays the store on startup — finished jobs reappear with their
-// results, and jobs interrupted mid-run are re-queued and, thanks to
+// transition — and every published SSE event, via the store's EventLog —
+// is mirrored into it, listings page through it, and finished jobs
+// beyond the retention window are evicted oldest-first (dropping their
+// event logs with them). With the default in-memory store the service is
+// exactly as ephemeral as before the store existed; with a file store
+// (cvcpd -store-dir) the manager replays the store on startup — finished
+// jobs reappear with their results and full event histories (SSE replay
+// streams the identical sequence before and after a restart, and
+// Last-Event-ID resume works across it), and jobs interrupted mid-run
+// are re-queued, appending to their existing event logs, and, thanks to
 // deterministic per-cell seeding, select the same parameter they would
 // have.
 //

@@ -229,11 +229,13 @@ func TestCancelRunningJobOverHTTP(t *testing.T) {
 	}
 }
 
-// sseEvent is one parsed SSE message.
+// sseEvent is one parsed SSE message. raw is the exact data payload as
+// written on the wire, for byte-level replay-equivalence assertions.
 type sseEvent struct {
 	id    int
 	event string
 	data  Event
+	raw   string
 }
 
 func readSSE(t *testing.T, r io.Reader) []sseEvent {
@@ -245,14 +247,17 @@ func readSSE(t *testing.T, r io.Reader) []sseEvent {
 		line := sc.Text()
 		switch {
 		case line == "":
-			out = append(out, cur)
+			if cur != (sseEvent{}) { // skip comment-only blocks (heartbeats)
+				out = append(out, cur)
+			}
 			cur = sseEvent{}
 		case strings.HasPrefix(line, "id: "):
 			fmt.Sscanf(line, "id: %d", &cur.id)
 		case strings.HasPrefix(line, "event: "):
 			cur.event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
-			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+			cur.raw = strings.TrimPrefix(line, "data: ")
+			if err := json.Unmarshal([]byte(cur.raw), &cur.data); err != nil {
 				t.Fatalf("bad SSE data %q: %v", line, err)
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 const (
@@ -17,41 +18,78 @@ const (
 	// store never compacts: snapshots cost a full rewrite, so tiny logs
 	// are left alone.
 	compactMinWAL = 256
+
+	// snapshotVersion is the snapshot format this build writes. v0 (no
+	// version field) held records only; v1 added per-job event logs.
+	// Open refuses snapshots from the future rather than silently
+	// dropping state it cannot represent.
+	snapshotVersion = 1
+
+	// eventSyncInterval bounds how long an event append may sit in the
+	// OS buffer before a coalescing fsync makes it durable. Event
+	// appends do not sync inline (the progress hot path must not
+	// serialize on disk latency); record writes and Close act as sync
+	// barriers in between.
+	eventSyncInterval = 100 * time.Millisecond
 )
 
-// walEntry is one line of the write-ahead log: exactly one of Put or
-// Delete is set.
+// walEntry is one line of the write-ahead log: exactly one of Put,
+// Delete or Events is set.
 type walEntry struct {
-	Put    *Record `json:"put,omitempty"`
-	Delete string  `json:"del,omitempty"`
+	Put    *Record    `json:"put,omitempty"`
+	Delete string     `json:"del,omitempty"`
+	Events *walEvents `json:"ev,omitempty"`
+}
+
+// walEvents is one appended event batch of a job's event log.
+type walEvents struct {
+	ID     string  `json:"id"`
+	Events []Event `json:"events"`
 }
 
 // snapshot is the on-disk snapshot document.
 type snapshot struct {
-	Records []Record `json:"records"`
+	Version int                `json:"version,omitempty"`
+	Records []Record           `json:"records"`
+	Events  map[string][]Event `json:"events,omitempty"`
 }
 
-// File is the durable Store: every Put/Delete is appended (and fsynced)
-// to a JSONL write-ahead log, and the full record set is periodically
-// compacted into a snapshot so the log stays short. Opening a directory
-// loads the snapshot, replays the log on top of it — tolerating a torn
-// final line from a crash mid-append — and serves the merged state.
+// File is the durable Store: every Put/Delete/AppendEvents is appended
+// to a JSONL write-ahead log, and the full state (records plus event
+// logs) is periodically compacted into a snapshot so the log stays
+// short. Opening a directory loads the snapshot, replays the log on top
+// of it — tolerating a torn final line from a crash mid-append — and
+// serves the merged state.
 //
-// Durability model: an entry is on disk before the corresponding call
-// returns, so a job submitted (or finished) before a crash is replayed
-// after it. Compaction is atomic (snapshot written to a temp file and
-// renamed); a crash between the rename and the log truncation merely
-// replays log entries that are already in the snapshot, which is
-// idempotent.
+// Durability model: a record entry is fsynced before the corresponding
+// call returns, so a job submitted (or finished) before a crash is
+// replayed after it. Event appends are written immediately but
+// fsync-coalesced: the sync happens at the next record write, at the
+// next eventSyncInterval tick, or at Close — whichever comes first — so
+// a crash can lose only a suffix of recent events, and never events
+// older than a record state they preceded. Compaction is atomic
+// (snapshot written to a temp file and renamed); a crash between the
+// rename and the log truncation merely replays log entries that are
+// already in the snapshot, which is idempotent.
 type File struct {
 	dir string
 
-	mu      sync.Mutex
-	tab     *table
-	wal     *os.File
-	walLen  int   // entries appended since the last compaction
-	walSize int64 // bytes of complete, valid entries in the log file
-	closed  bool
+	// compactMu serializes whole compactions (including Close's final
+	// one). It is always acquired BEFORE mu; the heavy phase of a
+	// compaction — marshaling and fsyncing the snapshot — runs under
+	// compactMu alone, so Put/Delete/AppendEvents proceed meanwhile and
+	// event publishers (who hold job mutexes upstream) are never
+	// stalled behind a snapshot rewrite.
+	compactMu sync.Mutex
+
+	mu        sync.Mutex
+	tab       *table
+	wal       *os.File
+	walLen    int   // entries appended since the last compaction
+	walSize   int64 // bytes of complete, valid entries in the log file
+	dirty     bool  // written-but-unsynced entries pending in the log
+	syncArmed bool  // a coalescing sync timer is scheduled
+	closed    bool
 }
 
 // Open loads (or initializes) a file store in dir, creating the
@@ -84,6 +122,25 @@ func Open(dir string) (*File, error) {
 		return nil, fmt.Errorf("store: opening WAL: %w", err)
 	}
 	f.wal = wal
+	// Sweep event logs with no owning record: a crash in the submission
+	// window (queued event appended, record Put never acknowledged)
+	// leaves one behind, the job was never visible, and nothing else
+	// would ever delete it — it would ride every future snapshot, and a
+	// re-issued ID would have its first events silently deduped against
+	// the stale log. The sweep is made DURABLE by appending a delete
+	// entry: an in-memory-only sweep would leave the stale "ev" lines in
+	// the WAL, and a second crash after the ID was re-issued would
+	// replay them ahead of the new job's events — resurrecting the
+	// orphan and deduping the new job's first events away.
+	for id := range f.tab.events {
+		if _, ok := f.tab.recs[id]; !ok {
+			if err := f.append(walEntry{Delete: id}, true); err != nil {
+				f.wal.Close()
+				return nil, fmt.Errorf("store: sweeping orphan event log %s: %w", id, err)
+			}
+			f.tab.dropEvents(id)
+		}
+	}
 	return f, nil
 }
 
@@ -99,8 +156,15 @@ func (f *File) loadSnapshot() error {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return fmt.Errorf("store: corrupt snapshot %s: %w", snapshotName, err)
 	}
+	if snap.Version > snapshotVersion {
+		return fmt.Errorf("store: snapshot %s is format v%d; this build reads up to v%d",
+			snapshotName, snap.Version, snapshotVersion)
+	}
 	for _, rec := range snap.Records {
 		f.tab.put(rec)
+	}
+	for id, evs := range snap.Events {
+		f.tab.appendEvents(id, evs)
 	}
 	return nil
 }
@@ -108,8 +172,15 @@ func (f *File) loadSnapshot() error {
 // replayWAL applies the write-ahead log on top of the snapshot. It
 // returns the entry count and the byte length of the valid prefix. A
 // malformed final line is tolerated (a crash mid-append leaves one) and
-// excluded from the valid length so Open can trim it; malformed interior
-// lines are an error, since everything after them would silently vanish.
+// excluded from the valid length so Open can trim it. A malformed line
+// with entries after it is tolerated only when everything after it is
+// event appends: event entries are the only unsynced writes (their
+// fsyncs coalesce), so a crash can garble any part of the
+// since-last-sync suffix — which by construction contains no record
+// entries — and losing that suffix is within the event-durability
+// contract. A corrupt line with a record entry (put/delete) anywhere
+// after it is real damage, and an error: records are fsynced per write,
+// so silently dropping one would lose acknowledged state.
 func (f *File) replayWAL() (entries int, validLen int64, err error) {
 	data, err := os.ReadFile(filepath.Join(f.dir, walName))
 	if os.IsNotExist(err) {
@@ -133,16 +204,24 @@ func (f *File) replayWAL() (entries int, validLen int64, err error) {
 		}
 		var e walEntry
 		if err := json.Unmarshal(line, &e); err != nil {
-			if next < len(data) {
+			// Scan from the corrupt line itself, not after it: the
+			// damaged line may have BEEN a record entry (its "put"/"del"
+			// key surviving as raw bytes), and dropping it would lose an
+			// fsynced record. A torn-but-unacknowledged record line is
+			// always the final line (Put holds the mutex through its
+			// fsync), which the next == len(data) case tolerates.
+			if next < len(data) && !eventsOnlyTail(data[off:]) {
 				return 0, 0, fmt.Errorf("store: corrupt WAL entry %d: %w", entries+1, err)
 			}
-			return entries, int64(off), nil // torn final line from a crash: drop it
+			return entries, int64(off), nil // torn tail (possibly spanning coalesced event appends): drop it
 		}
 		switch {
 		case e.Put != nil:
 			f.tab.put(*e.Put)
 		case e.Delete != "":
 			f.tab.delete(e.Delete)
+		case e.Events != nil:
+			f.tab.appendEvents(e.Events.ID, e.Events.Events)
 		}
 		entries++
 		off = next
@@ -150,11 +229,29 @@ func (f *File) replayWAL() (entries int, validLen int64, err error) {
 	return entries, int64(off), nil
 }
 
-// append writes one WAL entry and syncs it to disk. On failure the log is
-// truncated back to its last known-good length: a partial line left in
-// place would poison every later append (the next Open would see interior
-// corruption and refuse to start).
-func (f *File) append(e walEntry) error {
+// eventsOnlyTail reports whether no WAL line in data carries (or might
+// carry) a record entry — the check that lets replayWAL treat crash
+// damage among coalesced event appends as a recoverable torn tail
+// rather than fatal interior corruption. The test is a raw substring
+// scan, NOT a parse: corruption may have garbled a record line beyond
+// parsing, and a parse-based check would then skip it and silently
+// truncate an acknowledged record. A raw scan still recognizes the
+// "put"/"del" keys in a partially damaged line and errs toward refusing
+// — the conservative failure (Open fails loudly) over the silent one
+// (an fsynced record vanishes).
+func eventsOnlyTail(data []byte) bool {
+	return !bytes.Contains(data, []byte(`"put":`)) && !bytes.Contains(data, []byte(`"del":`))
+}
+
+// append writes one WAL entry, syncing it to disk when sync is true and
+// scheduling a coalesced sync otherwise. On failure the log is truncated
+// back to its last known-good length: a partial line left in place would
+// poison every later append (the next Open would see interior
+// corruption and refuse to start). A failed inline sync also truncates —
+// the entry has not been applied in memory yet, so disk and memory agree
+// that it never happened. Coalesced syncs (flushEvents) never truncate:
+// their entries were already reported as appended.
+func (f *File) append(e walEntry, sync bool) error {
 	data, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("store: encoding WAL entry: %w", err)
@@ -164,30 +261,72 @@ func (f *File) append(e walEntry) error {
 		_ = f.wal.Truncate(f.walSize)
 		return fmt.Errorf("store: appending WAL entry: %w", err)
 	}
+	if !sync {
+		f.walSize += int64(len(data))
+		f.walLen++
+		f.scheduleSyncLocked()
+		return nil
+	}
 	if err := f.wal.Sync(); err != nil {
 		_ = f.wal.Truncate(f.walSize)
 		return fmt.Errorf("store: syncing WAL: %w", err)
 	}
 	f.walSize += int64(len(data))
 	f.walLen++
+	f.dirty = false // the sync covered every earlier unsynced entry too
 	return nil
 }
 
-// compactLocked rewrites the snapshot from the resident records and
-// truncates the log. Callers hold mu.
-func (f *File) compactLocked() error {
-	snap := snapshot{Records: make([]Record, 0, len(f.tab.ids))}
-	for _, id := range f.tab.ids {
-		snap.Records = append(snap.Records, f.tab.recs[id])
+// scheduleSyncLocked marks unsynced bytes pending and arms the
+// coalescing timer (at most one outstanding). Callers hold mu.
+func (f *File) scheduleSyncLocked() {
+	f.dirty = true
+	if f.syncArmed {
+		return
 	}
+	f.syncArmed = true
+	time.AfterFunc(eventSyncInterval, f.flushEvents)
+}
+
+// flushEvents is the coalescing timer body: one fsync covering every
+// event appended since the last sync barrier. The fsync itself runs
+// OUTSIDE f.mu — os.File.Sync is safe concurrently with Write, and
+// holding the store mutex across disk latency would stall every event
+// append (and, transitively, the job mutex of each publisher). A write
+// landing while the sync is in flight re-marks dirty and re-arms the
+// timer, so it is covered by the next flush at the latest.
+func (f *File) flushEvents() {
+	f.mu.Lock()
+	f.syncArmed = false
+	if f.closed || !f.dirty {
+		f.mu.Unlock()
+		return
+	}
+	f.dirty = false
+	wal := f.wal
+	f.mu.Unlock()
+	if wal.Sync() == nil {
+		return
+	}
+	// Transient sync failure (EIO and kin): re-mark the bytes unsynced
+	// and re-arm the timer, so the coalescing window keeps retrying
+	// instead of silently abandoning durability until the next barrier.
+	f.mu.Lock()
+	if !f.closed {
+		f.scheduleSyncLocked()
+	}
+	f.mu.Unlock()
+}
+
+// writeSnapshot durably installs a snapshot document: write to a temp
+// file, fsync it, rename into place, fsync the directory. The snapshot
+// must be durably on disk BEFORE the log shrinks; otherwise a crash
+// could leave both an unflushed snapshot and a truncated log.
+func (f *File) writeSnapshot(snap snapshot) error {
 	data, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("store: encoding snapshot: %w", err)
 	}
-	// The snapshot must be durably on disk BEFORE the log is truncated:
-	// write to a temp file, fsync it, rename into place, fsync the
-	// directory. Otherwise a crash after the truncation could leave both
-	// an unflushed snapshot and an empty log.
 	tmp := filepath.Join(f.dir, snapshotName+".tmp")
 	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -211,44 +350,189 @@ func (f *File) compactLocked() error {
 		_ = d.Sync() // make the rename durable; best-effort on filesystems without dir fsync
 		d.Close()
 	}
+	return nil
+}
+
+// compactLocked rewrites the snapshot from the resident state and
+// truncates the log, synchronously. Callers hold mu (and, by the lock
+// order, compactMu). Only Close uses this form — nothing contends at
+// shutdown; live compactions go through compact, which keeps mu
+// released during the heavy phase.
+func (f *File) compactLocked() error {
+	if err := f.writeSnapshot(f.buildSnapshotLocked(false)); err != nil {
+		return err
+	}
 	// The snapshot now durably holds everything: restart the log. A crash
 	// right here replays pre-truncation entries over an equal snapshot,
-	// which is harmless.
+	// which is harmless (record puts overwrite; event appends dedup).
 	if err := f.wal.Truncate(0); err != nil {
 		return fmt.Errorf("store: truncating WAL: %w", err)
 	}
 	f.walLen = 0
 	f.walSize = 0
+	f.dirty = false // everything unsynced is now in the snapshot
 	return nil
 }
 
-// maybeCompactLocked compacts when the log has grown well past the
-// resident record count — the point where replay would mostly apply
-// overwritten states.
-func (f *File) maybeCompactLocked() error {
-	if f.walLen >= compactMinWAL && f.walLen >= 4*len(f.tab.recs) {
-		return f.compactLocked()
+// buildSnapshotLocked assembles the snapshot document from the resident
+// state. clone deep-copies records and events — required when the
+// snapshot outlives the mutex (the live compaction path marshals it
+// unlocked). Callers hold mu.
+func (f *File) buildSnapshotLocked(clone bool) snapshot {
+	snap := snapshot{Version: snapshotVersion, Records: make([]Record, 0, len(f.tab.ids))}
+	for _, id := range f.tab.ids {
+		rec := f.tab.recs[id]
+		if clone {
+			rec = rec.Clone()
+		}
+		snap.Records = append(snap.Records, rec)
 	}
+	if len(f.tab.events) == 0 {
+		return snap
+	}
+	if !clone {
+		snap.Events = f.tab.events
+		return snap
+	}
+	snap.Events = make(map[string][]Event, len(f.tab.events))
+	for id, evs := range f.tab.events {
+		snap.Events[id] = cloneEvents(evs)
+	}
+	return snap
+}
+
+// wantCompactLocked reports whether the log has grown well past the
+// resident state (records plus event log entries) — the point where
+// replay would mostly apply overwritten or deleted state. Callers
+// hold mu.
+func (f *File) wantCompactLocked() bool {
+	return f.walLen >= compactMinWAL && f.walLen >= 4*(len(f.tab.recs)+f.tab.numEvents)
+}
+
+// compact is the live-path compaction: the resident state is CLONED
+// under mu, the snapshot is marshaled and fsynced with mu released (so
+// concurrent Put/Delete/AppendEvents — and, transitively, the job
+// mutexes of event publishers — never stall behind it), and the WAL is
+// then cut down to just the entries appended during the heavy phase.
+// Crash windows are all replay-safe: until the snapshot rename the old
+// snapshot+WAL pair is intact, and after it the (full or suffix) WAL
+// replays idempotently over the new snapshot.
+func (f *File) compact() error {
+	f.compactMu.Lock()
+	defer f.compactMu.Unlock()
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if !f.wantCompactLocked() {
+		f.mu.Unlock()
+		return nil // a racing compaction already ran
+	}
+	snap := f.buildSnapshotLocked(true)
+	coveredSize := f.walSize
+	coveredLen := f.walLen
+	f.mu.Unlock()
+
+	if err := f.writeSnapshot(snap); err != nil {
+		return err
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return f.cutWALLocked(coveredSize, coveredLen)
+}
+
+// cutWALLocked replaces the WAL with just its suffix past coveredSize —
+// the entries appended while the snapshot (which covers everything
+// before them) was being written. Callers hold mu and compactMu. The
+// new log is written aside, fsynced and renamed into place, then the
+// append handle is reopened on it; a crash at any point leaves either
+// the old full WAL or the new suffix WAL, both of which replay
+// correctly over the installed snapshot.
+func (f *File) cutWALLocked(coveredSize int64, coveredLen int) error {
+	path := filepath.Join(f.dir, walName)
+	var suffix []byte
+	if f.walSize > coveredSize {
+		rf, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("store: reopening WAL for compaction: %w", err)
+		}
+		suffix = make([]byte, f.walSize-coveredSize)
+		_, err = rf.ReadAt(suffix, coveredSize)
+		rf.Close()
+		if err != nil {
+			return fmt.Errorf("store: reading WAL suffix: %w", err)
+		}
+	}
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating compacted WAL: %w", err)
+	}
+	if len(suffix) > 0 {
+		if _, err := tf.Write(suffix); err != nil {
+			tf.Close()
+			return fmt.Errorf("store: writing compacted WAL: %w", err)
+		}
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("store: syncing compacted WAL: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("store: closing compacted WAL: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: installing compacted WAL: %w", err)
+	}
+	if d, err := os.Open(f.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	wal, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The old handle now points at the renamed-over (unlinked)
+		// inode: writing to it would "succeed" while landing nowhere.
+		// Fail the store loudly rather than lose durability silently.
+		f.closed = true
+		f.wal.Close()
+		return fmt.Errorf("store: reopening WAL after compaction: %w", err)
+	}
+	f.wal.Close()
+	f.wal = wal
+	f.walSize = int64(len(suffix))
+	f.walLen -= coveredLen
+	f.dirty = false // the new WAL was fsynced whole
 	return nil
 }
 
 // Put inserts or overwrites rec under rec.ID, durably.
 func (f *File) Put(rec Record) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.closed {
+		f.mu.Unlock()
 		return ErrClosed
 	}
 	rec = rec.Clone()
-	if err := f.append(walEntry{Put: &rec}); err != nil {
+	if err := f.append(walEntry{Put: &rec}, true); err != nil {
+		f.mu.Unlock()
 		return err
 	}
 	f.tab.put(rec)
+	want := f.wantCompactLocked()
+	f.mu.Unlock()
 	// A compaction failure is NOT a Put failure: the record is already
 	// durable in the WAL (reporting an error here would make the caller
 	// treat a persisted record as unpersisted — a ghost a restart would
 	// resurrect). Compaction retries at the next threshold and on Close.
-	_ = f.maybeCompactLocked()
+	if want {
+		_ = f.compact()
+	}
 	return nil
 }
 
@@ -277,22 +561,69 @@ func (f *File) List(cursor string, limit int) ([]Record, string, error) {
 	return recs, next, nil
 }
 
-// Delete removes the record under id, durably.
+// Delete removes the record under id (and the job's event log), durably.
 func (f *File) Delete(id string) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	_, haveRec := f.tab.recs[id]
+	_, haveEvs := f.tab.events[id]
+	if !haveRec && !haveEvs {
+		f.mu.Unlock()
+		return nil
+	}
+	if err := f.append(walEntry{Delete: id}, true); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	f.tab.delete(id)
+	want := f.wantCompactLocked()
+	f.mu.Unlock()
+	if want {
+		_ = f.compact() // durable already; see Put
+	}
+	return nil
+}
+
+// AppendEvents appends the batch to the job's event log. The write lands
+// in the log immediately; its fsync is coalesced (see the File doc), so
+// the progress hot path never waits on disk latency.
+func (f *File) AppendEvents(id string, events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if err := validateEventData(events); err != nil {
+		return err
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
 		return ErrClosed
 	}
-	if _, ok := f.tab.recs[id]; !ok {
-		return nil
-	}
-	if err := f.append(walEntry{Delete: id}); err != nil {
+	evs := cloneEvents(events)
+	if err := f.append(walEntry{Events: &walEvents{ID: id, Events: evs}}, false); err != nil {
 		return err
 	}
-	f.tab.delete(id)
-	_ = f.maybeCompactLocked() // durable already; see Put
+	f.tab.appendEvents(id, evs)
+	// No compaction here, deliberately: the server appends from inside
+	// the job mutex (the progress hot path). The appended entries still
+	// count toward walLen, so the next Put/Delete — always outside any
+	// job mutex — triggers the compaction they accrue (and even that
+	// compaction holds the store mutex only to clone state and swap the
+	// WAL, never across the snapshot write).
 	return nil
+}
+
+// EventsSince returns the job's events with Seq > afterSeq, in order.
+func (f *File) EventsSince(id string, afterSeq int) ([]Event, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	return f.tab.eventsSince(id, afterSeq), nil
 }
 
 // Len reports how many records are resident.
@@ -306,7 +637,11 @@ func (f *File) Len() (int, error) {
 }
 
 // Close compacts the store into its snapshot and releases the log file.
+// compactMu is taken first (the lock order), so an in-flight live
+// compaction finishes before the final synchronous one runs.
 func (f *File) Close() error {
+	f.compactMu.Lock()
+	defer f.compactMu.Unlock()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {

@@ -5,16 +5,19 @@ import (
 	"sync"
 )
 
-// table is the unsynchronized record index shared by the store
-// implementations: a map for lookups plus a sorted ID slice for ordered,
-// cursor-based listing. Callers synchronize.
+// table is the unsynchronized record-and-event index shared by the store
+// implementations: a map for record lookups, a sorted ID slice for
+// ordered cursor-based listing, and one append-only event slice per job.
+// Callers synchronize.
 type table struct {
-	recs map[string]Record
-	ids  []string // sorted ascending
+	recs      map[string]Record
+	ids       []string // sorted ascending
+	events    map[string][]Event
+	numEvents int // total events resident, across all jobs
 }
 
 func newTable() *table {
-	return &table{recs: map[string]Record{}}
+	return &table{recs: map[string]Record{}, events: map[string][]Event{}}
 }
 
 func (t *table) put(rec Record) {
@@ -28,12 +31,53 @@ func (t *table) put(rec Record) {
 }
 
 func (t *table) delete(id string) {
+	t.dropEvents(id)
 	if _, ok := t.recs[id]; !ok {
 		return
 	}
 	delete(t.recs, id)
 	i := sort.SearchStrings(t.ids, id)
 	t.ids = append(t.ids[:i], t.ids[i+1:]...)
+}
+
+// appendEvents takes ownership of events (callers clone when the input
+// may be retained). Events at or below the job's last resident Seq are
+// dropped: appends are monotone per job in live use, so this only
+// matters during WAL replay — a crash between the snapshot rename and
+// the WAL truncation replays "ev" entries that are already in the
+// snapshot, and unlike record puts (which overwrite) a blind append
+// would duplicate every event.
+func (t *table) appendEvents(id string, events []Event) {
+	evs := t.events[id]
+	if n := len(evs); n > 0 {
+		last := evs[n-1].Seq
+		i := 0
+		for i < len(events) && events[i].Seq <= last {
+			i++
+		}
+		events = events[i:]
+	}
+	if len(events) == 0 {
+		return
+	}
+	t.events[id] = append(evs, events...)
+	t.numEvents += len(events)
+}
+
+// eventsSince returns clones of the events with Seq > after for id.
+// Events are appended with increasing Seq, so a binary search finds the
+// scan start.
+func (t *table) eventsSince(id string, after int) []Event {
+	evs := t.events[id]
+	i := sort.Search(len(evs), func(k int) bool { return evs[k].Seq > after })
+	return cloneEvents(evs[i:])
+}
+
+func (t *table) dropEvents(id string) {
+	if evs, ok := t.events[id]; ok {
+		t.numEvents -= len(evs)
+		delete(t.events, id)
+	}
 }
 
 // list returns up to limit records with ID > cursor plus the next-page
@@ -109,7 +153,8 @@ func (m *Memory) List(cursor string, limit int) ([]Record, string, error) {
 	return recs, next, nil
 }
 
-// Delete removes the record under id, if present.
+// Delete removes the record under id (and the job's event log), if
+// present.
 func (m *Memory) Delete(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -118,6 +163,33 @@ func (m *Memory) Delete(id string) error {
 	}
 	m.tab.delete(id)
 	return nil
+}
+
+// AppendEvents appends the batch to the job's event log.
+func (m *Memory) AppendEvents(id string, events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if err := validateEventData(events); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.tab.appendEvents(id, cloneEvents(events))
+	return nil
+}
+
+// EventsSince returns the job's events with Seq > afterSeq, in order.
+func (m *Memory) EventsSince(id string, afterSeq int) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	return m.tab.eventsSince(id, afterSeq), nil
 }
 
 // Len reports how many records are resident.

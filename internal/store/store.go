@@ -1,19 +1,23 @@
 // Package store is the job persistence layer of the CVCP selection
 // service: a small key-value contract (Store) over serialized job records,
-// with cursor pagination, and two implementations —
+// plus a per-job append-only event log (EventLog), with cursor
+// pagination, and two implementations —
 //
-//   - Memory: a map, for servers that accept losing state on restart;
+//   - Memory: maps, for servers that accept losing state on restart;
 //   - File: an append-only JSONL write-ahead log plus periodic snapshot
 //     in a directory, so a server restarted with the same directory
-//     replays its finished jobs and re-queues the interrupted ones.
+//     replays its finished jobs — event histories included — and
+//     re-queues the interrupted ones.
 //
 // The store is deliberately ignorant of what a job is. A Record carries
 // the fields every implementation needs for ordering and lifecycle
 // (ID, Status, timestamps) and treats the job's specification, dataset
 // payload and result as opaque JSON blobs supplied by the caller
-// (internal/server). That is the seam that keeps the job manager
-// storage-agnostic: swapping in a sharded or remote store is a new
-// implementation of this interface, not a manager rewrite.
+// (internal/server). Events are equally opaque: a sequence number for
+// scan-since-seq reads plus a serialized payload. That is the seam that
+// keeps the job manager storage-agnostic: swapping in a sharded or
+// remote store is a new implementation of this interface, not a manager
+// rewrite.
 //
 // # Ordering and cursors
 //
@@ -27,6 +31,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"time"
@@ -34,6 +39,21 @@ import (
 
 // ErrClosed is returned by every operation on a closed store.
 var ErrClosed = errors.New("store: closed")
+
+// ErrEventData rejects an event payload that would collide with the WAL
+// damage heuristic (see the Event doc).
+var ErrEventData = errors.New(`store: event payload must not contain the byte sequences "put": or "del":`)
+
+// validateEventData enforces the Event.Data constraint for AppendEvents
+// implementations.
+func validateEventData(events []Event) error {
+	for _, e := range events {
+		if bytes.Contains(e.Data, []byte(`"put":`)) || bytes.Contains(e.Data, []byte(`"del":`)) {
+			return ErrEventData
+		}
+	}
+	return nil
+}
 
 // Record is one persisted job. Spec, Dataset and Result are opaque to the
 // store: the server serializes whatever it needs to rebuild a job into
@@ -87,11 +107,65 @@ func (r Record) cloneForList() Record {
 	return c
 }
 
-// Store persists job records. Implementations must be safe for concurrent
-// use. Put with an existing ID overwrites; Delete of a missing ID is a
-// no-op; Get reports presence through its second return value rather than
-// an error.
+// Event is one persisted entry of a job's event log. Data is the opaque
+// serialized event supplied by the caller (the server stores its SSE
+// event JSON); Seq is the monotonically increasing per-job sequence
+// number that scan-since-seq reads and Last-Event-ID resume key on.
+//
+// One constraint on Data's opacity: the payload bytes must not contain
+// the literal sequences `"put":` or `"del":`. The file store's
+// crash-recovery heuristic scans damaged WAL regions for those raw
+// record-entry keys (a garbled record line must refuse loudly, not
+// truncate silently), so a payload carrying them would turn a
+// recoverable torn event tail into a fatal Open error. AppendEvents
+// enforces this with ErrEventData rather than leaving it a latent trap.
+// The server's event JSON ({seq,type,status,done,total}) never carries
+// them — note JSON string values escape their quotes, so only a payload
+// with a literal "put"/"del" object key can collide.
+type Event struct {
+	Seq  int             `json:"seq"`
+	Data json.RawMessage `json:"data"`
+}
+
+func (e Event) clone() Event {
+	e.Data = append(json.RawMessage(nil), e.Data...)
+	return e
+}
+
+func cloneEvents(events []Event) []Event {
+	out := make([]Event, len(events))
+	for i, e := range events {
+		out[i] = e.clone()
+	}
+	return out
+}
+
+// EventLog is the per-job event stream half of the store: an append-only
+// log per job ID, scanned by sequence number. Callers append events with
+// strictly increasing Seq per job; implementations preserve append order.
+//
+// Durability is looser than for records: a durable implementation may
+// coalesce the fsyncs of consecutive appends (so per-progress-event
+// appends never serialize on disk latency), meaning a crash can lose a
+// recently appended suffix of a log — never a middle. Record writes
+// (Put, Delete) act as barriers: every event appended before a returned
+// Put is durable with it.
+type EventLog interface {
+	// AppendEvents appends the batch to the event log of the job with
+	// the given id, in order. An empty batch is a no-op.
+	AppendEvents(id string, events []Event) error
+	// EventsSince returns the job's events with Seq > afterSeq, in
+	// append order. A job with no log yields an empty slice, not an
+	// error; afterSeq 0 scans the whole log.
+	EventsSince(id string, afterSeq int) ([]Event, error)
+}
+
+// Store persists job records and their event logs. Implementations must
+// be safe for concurrent use. Put with an existing ID overwrites; Delete
+// of a missing ID is a no-op; Get reports presence through its second
+// return value rather than an error.
 type Store interface {
+	EventLog
 	// Put inserts or overwrites the record under rec.ID.
 	Put(rec Record) error
 	// Get returns the record with the given ID, and whether it exists.
@@ -102,7 +176,9 @@ type Store interface {
 	// Dataset payload (use Get for the full record) — listings are hot
 	// and dataset payloads large.
 	List(cursor string, limit int) ([]Record, string, error)
-	// Delete removes the record under id, if present.
+	// Delete removes the record under id, if present, along with the
+	// job's event log — a deleted job's events are meaningless on their
+	// own, and dropping them here keeps eviction a single call.
 	Delete(id string) error
 	// Len reports how many records are resident.
 	Len() (int, error)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -362,5 +363,675 @@ func TestFileStoreCompaction(t *testing.T) {
 	got, ok, _ := s.Get("job-000000")
 	if !ok || got.Status != fmt.Sprintf("state-%d", lastI) {
 		t.Fatalf("latest overwrite lost by compaction: %+v", got)
+	}
+}
+
+func ev(seq int) Event {
+	return Event{Seq: seq, Data: json.RawMessage(fmt.Sprintf(`{"seq":%d,"type":"progress","done":%d}`, seq, seq))}
+}
+
+// The event-log half of the Store contract, against every implementation.
+func TestEventLogContract(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+
+			// No log yet: empty scan, no error.
+			evs, err := s.EventsSince("job-000001", 0)
+			if err != nil || len(evs) != 0 {
+				t.Fatalf("EventsSince on empty log: %v, %v", evs, err)
+			}
+			// Empty append is a no-op.
+			if err := s.AppendEvents("job-000001", nil); err != nil {
+				t.Fatal(err)
+			}
+
+			// Appends accumulate in order, across batches.
+			if err := s.AppendEvents("job-000001", []Event{ev(1), ev(2)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendEvents("job-000001", []Event{ev(3)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendEvents("job-000002", []Event{ev(1)}); err != nil {
+				t.Fatal(err)
+			}
+			evs, err = s.EventsSince("job-000001", 0)
+			if err != nil || len(evs) != 3 {
+				t.Fatalf("full scan: %d events, err %v", len(evs), err)
+			}
+			for i, e := range evs {
+				if e.Seq != i+1 {
+					t.Fatalf("event %d has seq %d", i, e.Seq)
+				}
+			}
+
+			// Scan-since-seq returns strictly later events only.
+			evs, _ = s.EventsSince("job-000001", 2)
+			if len(evs) != 1 || evs[0].Seq != 3 {
+				t.Fatalf("EventsSince(2) = %+v", evs)
+			}
+			if evs, _ = s.EventsSince("job-000001", 3); len(evs) != 0 {
+				t.Fatalf("EventsSince(last) = %+v", evs)
+			}
+
+			// Logs are per job.
+			if evs, _ = s.EventsSince("job-000002", 0); len(evs) != 1 {
+				t.Fatalf("job-000002 log = %+v", evs)
+			}
+
+			// Delete of the record drops the event log with it — even when
+			// no record was ever put (events precede the first Put during a
+			// submission).
+			if err := s.Delete("job-000001"); err != nil {
+				t.Fatal(err)
+			}
+			if evs, _ = s.EventsSince("job-000001", 0); len(evs) != 0 {
+				t.Fatalf("events survived Delete: %+v", evs)
+			}
+			if evs, _ = s.EventsSince("job-000002", 0); len(evs) != 1 {
+				t.Fatal("Delete leaked into another job's log")
+			}
+
+			// Closed stores refuse event operations too.
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendEvents("job-000002", []Event{ev(2)}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("AppendEvents after Close = %v, want ErrClosed", err)
+			}
+			if _, err := s.EventsSince("job-000002", 0); !errors.Is(err, ErrClosed) {
+				t.Fatalf("EventsSince after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// Mutating an event after AppendEvents (or one returned by EventsSince)
+// must not alter stored state.
+func TestEventLogAliasing(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			in := []Event{ev(1)}
+			if err := s.AppendEvents("job-000001", in); err != nil {
+				t.Fatal(err)
+			}
+			in[0].Data[1] = 'X'
+			out, err := s.EventsSince("job-000001", 0)
+			if err != nil || len(out) != 1 {
+				t.Fatalf("EventsSince: %v, %v", out, err)
+			}
+			if string(out[0].Data) != string(ev(1).Data) {
+				t.Fatalf("stored event aliased caller memory: %s", out[0].Data)
+			}
+			out[0].Data[1] = 'Y'
+			again, _ := s.EventsSince("job-000001", 0)
+			if string(again[0].Data) != string(ev(1).Data) {
+				t.Fatalf("EventsSince returned aliased memory: %s", again[0].Data)
+			}
+		})
+	}
+}
+
+// Event appends survive a reopen: the WAL replays them onto the
+// snapshot, torn-tail rules included.
+func TestFileEventsReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(1), ev(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// A record write is the sync barrier after coalesced event appends.
+	if err := s.Put(rec(1, "running")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(3)}); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: simulate the process dying with the WAL as-is.
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := re.EventsSince("job-000001", 0)
+	if err != nil || len(evs) != 3 {
+		t.Fatalf("reopened log = %d events, err %v", len(evs), err)
+	}
+	for i, e := range evs {
+		if e.Seq != i+1 || string(e.Data) != string(ev(i+1).Data) {
+			t.Fatalf("reopened event %d = %+v", i, e)
+		}
+	}
+	re.Close()
+
+	// And a clean Close compacts the events into the snapshot.
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if evs, _ := again.EventsSince("job-000001", 0); len(evs) != 3 {
+		t.Fatalf("post-compaction log = %d events", len(evs))
+	}
+}
+
+// A crash mid-append can tear the final event line; Open must tolerate
+// it, keep every complete entry, and keep the log appendable.
+func TestFileEventsTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The owning record must exist, or a reopen sweeps the job's log as
+	// a submission-window orphan.
+	if err := s.Put(rec(1, "running")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(2)}); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with torn event tail: %v", err)
+	}
+	evs, _ := re.EventsSince("job-000001", 0)
+	if len(evs) != 1 || evs[0].Seq != 1 {
+		t.Fatalf("after torn tail: %+v", evs)
+	}
+	// The tail was trimmed: appending and reopening keeps working.
+	if err := re.AppendEvents("job-000001", []Event{ev(2)}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after post-tear appends: %v", err)
+	}
+	defer again.Close()
+	if evs, _ := again.EventsSince("job-000001", 0); len(evs) != 2 {
+		t.Fatalf("post-tear append lost: %+v", evs)
+	}
+	re.Close()
+}
+
+// A corrupt line followed only by event entries is the coalesced-fsync
+// crash signature: Open recovers by dropping the damaged suffix (event
+// durability allows suffix loss) instead of refusing to start.
+func TestFileEventsCorruptInteriorLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(1)}); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append([]byte("{torn event\n"), data...)
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open refused a corrupt all-events tail: %v", err)
+	}
+	defer re.Close()
+	if evs, _ := re.EventsSince("job-000001", 0); len(evs) != 0 {
+		t.Fatalf("events recovered from the dropped region: %+v", evs)
+	}
+}
+
+// The snapshot carries a format version: current snapshots round-trip
+// events, pre-event (v0) snapshots still load, and snapshots from a
+// newer format are refused instead of silently dropping state.
+func TestFileSnapshotVersioning(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec(1, "done")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(1), ev(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // compacts: events land in the snapshot
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, snapshotName)
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != snapshotVersion {
+		t.Fatalf("snapshot version = %d, want %d", snap.Version, snapshotVersion)
+	}
+	if len(snap.Events["job-000001"]) != 2 {
+		t.Fatalf("snapshot events = %+v", snap.Events)
+	}
+
+	// A legacy v0 snapshot (records only, no version field) still loads.
+	legacy := []byte(`{"records":[{"id":"job-000009","status":"done","created":"2026-07-30T12:00:00Z"}]}`)
+	if err := os.WriteFile(snapPath, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, walName))
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("v0 snapshot refused: %v", err)
+	}
+	if _, ok, _ := re.Get("job-000009"); !ok {
+		t.Fatal("v0 snapshot record lost")
+	}
+	re.Close()
+
+	// A snapshot from a future format version is refused.
+	future := []byte(`{"version":99,"records":[]}`)
+	if err := os.WriteFile(snapPath, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a snapshot from the future")
+	}
+}
+
+// Compaction must fold event logs into the snapshot without changing the
+// observable event sequences.
+func TestFileEventsSurviveCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendEvents("job-000001", []Event{ev(1), ev(2), ev(3)}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a handful of records until the WAL crosses the
+	// compaction threshold.
+	for i := 0; i < 8*compactMinWAL; i++ {
+		if err := s.Put(rec(i%5, fmt.Sprintf("state-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	walLen := s.walLen
+	s.mu.Unlock()
+	if walLen >= compactMinWAL {
+		t.Fatalf("WAL never compacted: %d entries", walLen)
+	}
+	evs, err := s.EventsSince("job-000001", 0)
+	if err != nil || len(evs) != 3 {
+		t.Fatalf("events after compaction: %d, err %v", len(evs), err)
+	}
+	if evs, _ := s.EventsSince("job-000001", 1); len(evs) != 2 || evs[0].Seq != 2 {
+		t.Fatalf("scan-since after compaction: %+v", evs)
+	}
+}
+
+// TestEventLogConcurrency hammers appends, scans and deletes from many
+// goroutines; meaningful under -race (it also exercises the coalescing
+// sync timer against concurrent record writes). Each goroutine owns its
+// job (the EventLog contract requires per-job monotone seqs), and all
+// goroutines additionally contend on one shared job through an atomic
+// sequence counter, so cross-goroutine append/scan interleavings on a
+// single key are exercised too.
+func TestEventLogConcurrency(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			// The shared job mirrors the server's publish pattern: seq
+			// assignment and append serialize under one mutex (the job
+			// mutex in production), while different jobs append freely.
+			const shared = "job-shared"
+			var sharedMu sync.Mutex
+			sharedSeq := 0
+			appendShared := func() error {
+				sharedMu.Lock()
+				defer sharedMu.Unlock()
+				sharedSeq++
+				return s.AppendEvents(shared, []Event{ev(sharedSeq)})
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					id := fmt.Sprintf("job-%06d", g)
+					for k := 1; k <= 25; k++ {
+						if err := s.AppendEvents(id, []Event{ev(k)}); err != nil {
+							t.Error(err)
+							return
+						}
+						if err := appendShared(); err != nil {
+							t.Error(err)
+							return
+						}
+						if _, err := s.EventsSince(id, k/2); err != nil {
+							t.Error(err)
+							return
+						}
+						if _, err := s.EventsSince(shared, 0); err != nil {
+							t.Error(err)
+							return
+						}
+						if k%7 == 0 {
+							if err := s.Put(rec(g, "running")); err != nil { // sync barrier interleaved
+								t.Error(err)
+								return
+							}
+						}
+						if k%11 == 0 && g == 3 {
+							if err := s.Delete(id); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+					if g != 3 { // goroutine 3 deletes its own log mid-run
+						if evs, err := s.EventsSince(id, 0); err != nil || len(evs) != 25 {
+							t.Errorf("job %s: %d events after hammer (err %v), want 25", id, len(evs), err)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			// The shared job saw 8×25 contract-conforming appends; every
+			// one must have landed.
+			if evs, err := s.EventsSince(shared, 0); err != nil || len(evs) != 200 {
+				t.Fatalf("shared job: %d events after hammer (err %v), want 200", len(evs), err)
+			}
+		})
+	}
+}
+
+// Crash damage confined to the coalesced-event tail region — a garbled
+// event entry with only event entries after it — recovers as a torn
+// tail: records survive, the damaged suffix is dropped, and the store
+// opens. The same damage followed by a record entry is fatal.
+func TestFileEventsCorruptUnsyncedRegion(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec(1, "running")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(2)}); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garble the first event entry (simulating non-prefix writeback of
+	// the unsynced suffix) while the second event entry stays intact.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("unexpected WAL shape: %d lines", len(lines))
+	}
+	garbled := append([]byte(nil), lines[0]...)             // the record put
+	garbled = append(garbled, []byte("\x00\x00{oops\n")...) // event entry 1, destroyed
+	garbled = append(garbled, lines[2]...)                  // event entry 2, intact
+	if err := os.WriteFile(wal, garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open refused a corrupt coalesced-event tail: %v", err)
+	}
+	if _, ok, _ := re.Get("job-000001"); !ok {
+		t.Fatal("record lost")
+	}
+	// The damaged suffix (both event entries) is dropped — within the
+	// event-durability contract.
+	if evs, _ := re.EventsSince("job-000001", 0); len(evs) != 0 {
+		t.Fatalf("events recovered from the dropped region: %+v", evs)
+	}
+	re.Close()
+
+	// Same garbled line, but a RECORD entry after it: acknowledged
+	// durable state would vanish, so Open must refuse.
+	fatal := append([]byte(nil), lines[0]...)
+	fatal = append(fatal, []byte("\x00\x00{oops\n")...)
+	fatal = append(fatal, lines[0]...) // a put entry after the damage
+	if err := os.WriteFile(wal, fatal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, snapshotName))
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted corruption with a record entry after it")
+	}
+}
+
+// A crash between the snapshot rename and the WAL truncation replays
+// "ev" entries that the snapshot already contains; the replay must be
+// idempotent (record puts overwrite, event appends must dedup by seq)
+// or every event would double.
+func TestFileEventsReplayIdempotentAfterCompactionCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec(1, "running")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(1), ev(2)}); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, walName)
+	preCompaction, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compact (Close does), then put the pre-compaction WAL back —
+	// exactly the state a crash after the snapshot rename but before
+	// the truncation leaves behind.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, preCompaction, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	evs, err := re.EventsSince("job-000001", 0)
+	if err != nil || len(evs) != 2 {
+		t.Fatalf("replay duplicated events: got %d (%+v), want 2", len(evs), evs)
+	}
+	for i, e := range evs {
+		if e.Seq != i+1 {
+			t.Fatalf("event %d has seq %d after replay", i, e.Seq)
+		}
+	}
+	// And appends continue cleanly past the deduped replay.
+	if err := re.AppendEvents("job-000001", []Event{ev(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if evs, _ := re.EventsSince("job-000001", 0); len(evs) != 3 {
+		t.Fatalf("post-replay append: %+v", evs)
+	}
+}
+
+// A crash in the submission window — queued event appended, record Put
+// never acknowledged — leaves an event log with no owning record. Open
+// must sweep it: the job was never visible, and a stale log would dedup
+// away the first events of a re-issued ID.
+func TestFileOrphanEventLogSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec(1, "running")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// The orphan: events for a job whose record never landed.
+	if err := s.AppendEvents("job-000002", []Event{ev(1), ev(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the process "dies" before job-000002's record Put.
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs, _ := re.EventsSince("job-000002", 0); len(evs) != 0 {
+		t.Fatalf("orphan log survived reopen: %+v", evs)
+	}
+	if evs, _ := re.EventsSince("job-000001", 0); len(evs) != 1 {
+		t.Fatalf("owned log swept: %+v", evs)
+	}
+	// A re-issued ID starts a clean log: its seq-1 event must not be
+	// deduped against the stale orphan.
+	if err := re.Put(rec(2, "queued")); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.AppendEvents("job-000002", []Event{ev(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if evs, _ := re.EventsSince("job-000002", 0); len(evs) != 1 || evs[0].Seq != 1 {
+		t.Fatalf("re-issued ID's first event lost: %+v", evs)
+	}
+	re.Close()
+}
+
+// The orphan sweep must be durable: after the swept ID is re-issued, a
+// SECOND crash replays the original WAL — if the sweep left the stale
+// "ev" entries in place, they would resurrect ahead of the new job's
+// events and dedup its first events away.
+func TestFileOrphanSweepSurvivesSecondCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The orphan: two events, no record (crash in the submission window).
+	orphanData := ev(1)
+	orphanData.Data = json.RawMessage(`{"stale":"foreign"}`)
+	if err := s.AppendEvents("job-000001", []Event{orphanData, ev(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash #1 (no Close), restart: the sweep runs.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ID is re-issued: new submission appends its queued event and
+	// then its record.
+	if err := re.AppendEvents("job-000001", []Event{ev(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Put(rec(1, "queued")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash #2 (no Close), restart: the full WAL — stale evs, sweep
+	// delete, new evs, record — replays in order.
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	evs, err := again.EventsSince("job-000001", 0)
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("after second crash: %d events (err %v), want exactly the re-issued job's 1", len(evs), err)
+	}
+	if string(evs[0].Data) == `{"stale":"foreign"}` {
+		t.Fatal("stale orphan event resurrected over the re-issued job's history")
+	}
+}
+
+// Corruption that garbles BOTH an event line and a following record
+// line must still refuse: the record's "put" key survives as a raw
+// substring even when the line no longer parses, and silently dropping
+// an fsynced record is the one unacceptable recovery.
+func TestFileCorruptTailWithGarbledRecordRefused(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvents("job-000001", []Event{ev(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec(1, "done")); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	damaged := []byte("\x00{garbled-event\n")
+	// The record line is damaged too — unparseable, but its `"put":` key
+	// survives in the raw bytes.
+	garbledPut := append([]byte("\x00\x00"), lines[1]...)
+	if err := os.WriteFile(wal, append(damaged, garbledPut...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open silently truncated a tail containing a garbled record entry")
+	}
+}
+
+// Event payloads carrying the raw record-entry key bytes are rejected
+// up front (ErrEventData): the WAL damage heuristic keys on them, so
+// accepting one would plant a latent fatal-Open trap.
+func TestAppendEventsRejectsColludingPayload(t *testing.T) {
+	for name, s := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			bad := Event{Seq: 1, Data: json.RawMessage(`{"put":1}`)}
+			if err := s.AppendEvents("job-000001", []Event{bad}); !errors.Is(err, ErrEventData) {
+				t.Fatalf("AppendEvents = %v, want ErrEventData", err)
+			}
+			// Escaped quotes inside string values are fine — only literal
+			// object keys collide.
+			ok := Event{Seq: 1, Data: json.RawMessage(`{"msg":"say \"put\": loudly"}`)}
+			if err := s.AppendEvents("job-000001", []Event{ok}); err != nil {
+				t.Fatalf("escaped payload rejected: %v", err)
+			}
+		})
 	}
 }
