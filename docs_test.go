@@ -103,6 +103,15 @@ var requiredAPIDocs = map[string][]string{
 		"Select", "Spec", "Grid", "Supervision", "Scorer",
 		"EventLog", "Last-Event-ID",
 	},
+	"docs/performance.md": {
+		"Dist4", "SqDist4", "Pack4", "NewDistMatrixNaive", "RowInto",
+		"Matrix32", "RunWithEps", "kthSmallest", "BENCH_v5.json",
+		"bench-smoke", "benchjson",
+	},
+	"BENCH_v5.json": {
+		"schema", "git_sha", "ns_per_op", "allocs_per_op",
+		"selection_wall_ns", "speedup_vs_baseline",
+	},
 }
 
 func TestDocsReferences(t *testing.T) {

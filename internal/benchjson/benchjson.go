@@ -1,0 +1,161 @@
+// Package benchjson defines the on-disk format of the repository's
+// benchmark ledger (BENCH_v5.json): an append-only JSON array with one
+// record per benchmark run, written by cmd/bench and checked in per PR so
+// performance history travels with the code. The schema is validated both
+// on write (cmd/bench refuses to append an invalid record) and in CI (the
+// bench-smoke job validates a fresh -short run plus the committed ledger).
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+)
+
+// Schema is the current record schema version. Bump it only with a
+// migration note in docs/performance.md.
+const Schema = 1
+
+// Record is one benchmark run: a set of micro-benchmark results plus the
+// end-to-end selection wall time, stamped with the commit it measured.
+type Record struct {
+	// Schema is the record format version (the package constant Schema).
+	Schema int `json:"schema"`
+	// Timestamp is the run's start time, RFC 3339 in UTC.
+	Timestamp string `json:"timestamp"`
+	// GitSHA is the commit the working tree was at, or "unknown" outside
+	// a git checkout.
+	GitSHA string `json:"git_sha"`
+	// GoVersion is runtime.Version() of the harness binary.
+	GoVersion string `json:"go_version"`
+	// Short marks reduced-size runs (cmd/bench -short, the CI smoke job);
+	// short records are for schema liveness, not for cross-PR comparison.
+	Short bool `json:"short"`
+	// Benchmarks holds the micro-benchmark results.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// SelectionWallNs is the wall-clock time of one full CVCP selection
+	// (grid × folds on the reference dataset), in nanoseconds.
+	SelectionWallNs int64 `json:"selection_wall_ns"`
+}
+
+// Benchmark is one micro-benchmark measurement in a Record.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// MBPerSec is throughput when the benchmark sets bytes-per-op;
+	// 0 otherwise.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// SpeedupVsBaseline is this benchmark's throughput relative to its
+	// named scalar baseline (e.g. blocked builder vs naive builder);
+	// 0 when the benchmark has no baseline.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+var shaRE = regexp.MustCompile(`^([0-9a-f]{7,40}|unknown)$`)
+
+// Validate checks one record against the schema: version match, parseable
+// UTC timestamp, plausible git SHA, at least one benchmark, and positive
+// measurements everywhere.
+func Validate(r *Record) error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchjson: schema %d, want %d", r.Schema, Schema)
+	}
+	if _, err := time.Parse(time.RFC3339, r.Timestamp); err != nil {
+		return fmt.Errorf("benchjson: bad timestamp %q: %v", r.Timestamp, err)
+	}
+	if !shaRE.MatchString(r.GitSHA) {
+		return fmt.Errorf("benchjson: bad git_sha %q", r.GitSHA)
+	}
+	if r.GoVersion == "" {
+		return fmt.Errorf("benchjson: empty go_version")
+	}
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: record has no benchmarks")
+	}
+	seen := map[string]bool{}
+	for i, b := range r.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchjson: benchmark %d has empty name", i)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("benchjson: duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Iterations <= 0 {
+			return fmt.Errorf("benchjson: %s: iterations %d, want > 0", b.Name, b.Iterations)
+		}
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("benchjson: %s: ns_per_op %v, want > 0", b.Name, b.NsPerOp)
+		}
+		if b.BytesPerOp < 0 || b.AllocsPerOp < 0 {
+			return fmt.Errorf("benchjson: %s: negative memory stats", b.Name)
+		}
+		if b.MBPerSec < 0 || b.SpeedupVsBaseline < 0 {
+			return fmt.Errorf("benchjson: %s: negative derived stats", b.Name)
+		}
+	}
+	if r.SelectionWallNs <= 0 {
+		return fmt.Errorf("benchjson: selection_wall_ns %d, want > 0", r.SelectionWallNs)
+	}
+	return nil
+}
+
+// Load reads a ledger file. A missing file is an empty ledger, not an
+// error; a malformed or schema-invalid file is an error.
+func Load(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %v", path, err)
+	}
+	for i := range recs {
+		if err := Validate(&recs[i]); err != nil {
+			return nil, fmt.Errorf("%s: record %d: %v", path, i, err)
+		}
+	}
+	return recs, nil
+}
+
+// Append validates rec, loads the existing ledger at path (validating
+// every prior record), appends rec, and rewrites the file atomically
+// (temp file + rename), so a crashed run can never truncate history.
+func Append(path string, rec *Record) error {
+	if err := Validate(rec); err != nil {
+		return err
+	}
+	recs, err := Load(path)
+	if err != nil {
+		return err
+	}
+	recs = append(recs, *rec)
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

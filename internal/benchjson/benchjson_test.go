@@ -1,0 +1,136 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validRecord() *Record {
+	return &Record{
+		Schema:    Schema,
+		Timestamp: "2026-08-07T12:00:00Z",
+		GitSHA:    "0123abc",
+		GoVersion: "go1.24.0",
+		Benchmarks: []Benchmark{
+			{Name: "DistMatrixBuild/naive", Iterations: 100, NsPerOp: 1.4e6, MBPerSec: 11_000},
+			{Name: "DistMatrixBuild/blocked", Iterations: 220, NsPerOp: 6.6e5, MBPerSec: 25_000, SpeedupVsBaseline: 2.2},
+		},
+		SelectionWallNs: 5e8,
+	}
+}
+
+func TestValidateAcceptsGoodRecord(t *testing.T) {
+	if err := Validate(validRecord()); err != nil {
+		t.Fatal(err)
+	}
+	r := validRecord()
+	r.GitSHA = "unknown" // allowed outside a git checkout
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Record)
+		want string
+	}{
+		{"wrong schema", func(r *Record) { r.Schema = 99 }, "schema"},
+		{"bad timestamp", func(r *Record) { r.Timestamp = "yesterday" }, "timestamp"},
+		{"bad sha", func(r *Record) { r.GitSHA = "HEAD~1" }, "git_sha"},
+		{"empty go version", func(r *Record) { r.GoVersion = "" }, "go_version"},
+		{"no benchmarks", func(r *Record) { r.Benchmarks = nil }, "no benchmarks"},
+		{"empty name", func(r *Record) { r.Benchmarks[0].Name = "" }, "empty name"},
+		{"duplicate name", func(r *Record) { r.Benchmarks[1].Name = r.Benchmarks[0].Name }, "duplicate"},
+		{"zero iterations", func(r *Record) { r.Benchmarks[0].Iterations = 0 }, "iterations"},
+		{"zero ns", func(r *Record) { r.Benchmarks[0].NsPerOp = 0 }, "ns_per_op"},
+		{"negative allocs", func(r *Record) { r.Benchmarks[0].AllocsPerOp = -1 }, "memory"},
+		{"negative speedup", func(r *Record) { r.Benchmarks[1].SpeedupVsBaseline = -2 }, "derived"},
+		{"zero wall time", func(r *Record) { r.SelectionWallNs = 0 }, "selection_wall_ns"},
+	}
+	for _, c := range cases {
+		r := validRecord()
+		c.mut(r)
+		err := Validate(r)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAppendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if recs, err := Load(path); err != nil || recs != nil {
+		t.Fatalf("missing file should load as empty ledger, got %v, %v", recs, err)
+	}
+	first := validRecord()
+	if err := Append(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := validRecord()
+	second.GitSHA = "deadbeef"
+	if err := Append(path, second); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].GitSHA != "0123abc" || recs[1].GitSHA != "deadbeef" {
+		t.Fatalf("append order lost: %v, %v", recs[0].GitSHA, recs[1].GitSHA)
+	}
+	if recs[1].Benchmarks[1].SpeedupVsBaseline != 2.2 {
+		t.Fatalf("speedup did not round-trip: %v", recs[1].Benchmarks[1].SpeedupVsBaseline)
+	}
+}
+
+func TestAppendRejectsInvalidRecordWithoutTouchingLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := Append(path, validRecord()); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := validRecord()
+	bad.SelectionWallNs = -1
+	if err := Append(path, bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed append modified the ledger")
+	}
+}
+
+func TestLoadRejectsCorruptLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected parse error")
+	}
+	// A well-formed array holding an invalid record must also be rejected
+	// (this is what the CI schema-validation step exercises).
+	if err := os.WriteFile(path, []byte(`[{"schema": 42}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected schema error")
+	}
+}

@@ -7,7 +7,6 @@ package optics
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"cvcp/internal/linalg"
 )
@@ -28,19 +27,31 @@ type Result struct {
 // neighbor counting the object itself (the DBSCAN convention); it is +Inf
 // when the dataset has fewer than MinPts objects.
 func Run(x [][]float64, minPts int) (*Result, error) {
-	return run(len(x), minPts, func(i, j int) float64 { return linalg.Dist(x[i], x[j]) })
+	rowInto := func(dst []float64, i int) {
+		xi := x[i]
+		for j := range x {
+			dst[j] = linalg.Dist(xi, x[j])
+		}
+	}
+	return run(len(x), minPts, func(i, j int) float64 { return linalg.Dist(x[i], x[j]) }, rowInto)
 }
 
 // RunWithMatrix is Run with distance evaluations replaced by lookups into a
 // precomputed pairwise matrix. A MinPts sweep over the same data (the CVCP
 // candidate grid) shares one matrix instead of recomputing every pairwise
 // distance per MinPts value; dm entries come from linalg.Dist, so the
-// ordering is bit-identical to Run's.
+// ordering is bit-identical to Run's (for float32 matrices, bit-identical
+// to running on the rounded entries).
 func RunWithMatrix(dm *linalg.DistMatrix, minPts int) (*Result, error) {
-	return run(dm.N(), minPts, dm.At)
+	return run(dm.N(), minPts, dm.At, func(dst []float64, i int) { dm.RowInto(dst, i) })
 }
 
-func run(n, minPts int, dist func(i, j int) float64) (*Result, error) {
+// run is the dense (ε = ∞) driver. dist answers point lookups during
+// expansion; rowInto materializes a full distance row into a reused buffer
+// for the core-distance pass — for condensed matrices this is a linear
+// two-stride walk (DistMatrix.RowInto) instead of n branchy At calls, and
+// it never allocates.
+func run(n, minPts int, dist func(i, j int) float64, rowInto func(dst []float64, i int)) (*Result, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("optics: empty dataset")
 	}
@@ -48,7 +59,7 @@ func run(n, minPts int, dist func(i, j int) float64) (*Result, error) {
 		return nil, fmt.Errorf("optics: MinPts must be >= 1, got %d", minPts)
 	}
 
-	core := coreDistances(n, minPts, dist)
+	core := coreDistances(n, minPts, rowInto)
 	processed := make([]bool, n)
 	order := make([]int, 0, n)
 	reach := make([]float64, 0, n)
@@ -84,8 +95,10 @@ func run(n, minPts int, dist func(i, j int) float64) (*Result, error) {
 }
 
 // coreDistances returns, for every object, the distance to its minPts-th
-// nearest neighbor (the object itself counts as the first).
-func coreDistances(n, minPts int, dist func(i, j int) float64) []float64 {
+// nearest neighbor (the object itself counts as the first). The minPts-th
+// smallest row entry is selected in O(n) with kthSmallest instead of a
+// full O(n log n) sort — the order statistic is the same value either way.
+func coreDistances(n, minPts int, rowInto func(dst []float64, i int)) []float64 {
 	core := make([]float64, n)
 	if minPts > n {
 		for i := range core {
@@ -98,13 +111,59 @@ func coreDistances(n, minPts int, dist func(i, j int) float64) []float64 {
 	}
 	d := make([]float64, n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			d[j] = dist(i, j)
-		}
-		sort.Float64s(d)
-		core[i] = d[minPts-1]
+		rowInto(d, i)
+		core[i] = kthSmallest(d, minPts-1)
 	}
 	return core
+}
+
+// kthSmallest returns the k-th smallest value of a (0-indexed), reordering
+// a in place. Deterministic three-way quickselect with a median-of-three
+// pivot: the selected order statistic is exactly the value sort would put
+// at index k.
+func kthSmallest(a []float64, k int) float64 {
+	lo, hi := 0, len(a)
+	for hi-lo > 1 {
+		pivot := median3(a[lo], a[lo+(hi-lo)/2], a[hi-1])
+		// Three-way partition: a[lo:lt] < pivot, a[lt:i] == pivot,
+		// a[gt:hi] > pivot.
+		lt, gt := lo, hi
+		for i := lo; i < gt; {
+			switch {
+			case a[i] < pivot:
+				a[i], a[lt] = a[lt], a[i]
+				lt++
+				i++
+			case a[i] > pivot:
+				gt--
+				a[i], a[gt] = a[gt], a[i]
+			default:
+				i++
+			}
+		}
+		switch {
+		case k < lt:
+			hi = lt
+		case k >= gt:
+			lo = gt
+		default:
+			return pivot
+		}
+	}
+	return a[lo]
+}
+
+func median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
 }
 
 // heap is an indexed min-heap over object indices keyed by reachability,

@@ -36,6 +36,13 @@ type FOSCOpticsDend struct {
 	// MinClusterSize overrides the minimum selectable cluster size; 0 means
 	// "use the MinPts parameter".
 	MinClusterSize int
+	// Matrix32 stores the shared pairwise-distance matrix as float32,
+	// halving its resident memory. Distances are computed in float64 and
+	// rounded once, so each entry carries at most 2⁻²⁴ relative error;
+	// selections on well-separated data are unaffected, but reachability
+	// ties can legitimately resolve differently when distances differ by
+	// less than one float32 ULP (see docs/performance.md).
+	Matrix32 bool
 }
 
 // Name implements Algorithm.
@@ -48,7 +55,7 @@ func (FOSCOpticsDend) Name() string { return "FOSC-OPTICSDend" }
 // pairwise-distance matrix, even when the engine schedules them
 // concurrently.
 func (f FOSCOpticsDend) Cluster(ds *dataset.Dataset, train *constraints.Set, minPts int, seed int64) ([]int, error) {
-	res, err := opticsDendrogram(ds, minPts)
+	res, err := opticsDendrogram(ds, minPts, f.Matrix32)
 	if err != nil {
 		return nil, err
 	}
@@ -63,8 +70,8 @@ func (f FOSCOpticsDend) Cluster(ds *dataset.Dataset, train *constraints.Set, min
 	return ext.Labels, nil
 }
 
-func opticsDendrogram(ds *dataset.Dataset, minPts int) (*hierarchy.Dendrogram, error) {
-	ord, err := opticsRun(ds, minPts)
+func opticsDendrogram(ds *dataset.Dataset, minPts int, f32 bool) (*hierarchy.Dendrogram, error) {
+	ord, err := opticsRun(ds, minPts, f32)
 	if err != nil {
 		return nil, err
 	}

@@ -166,7 +166,7 @@ func TestRunCacheHammer(t *testing.T) {
 			got := map[int]any{}
 			for i := 0; i < 50; i++ {
 				mp := minPts[i%len(minPts)]
-				res, err := opticsRun(ds, mp)
+				res, err := opticsRun(ds, mp, false)
 				if err != nil {
 					t.Error(err)
 					return
@@ -177,7 +177,7 @@ func TestRunCacheHammer(t *testing.T) {
 				}
 				got[mp] = res
 			}
-			matrices[g] = distMatrix(ds)
+			matrices[g] = distMatrix(ds, false)
 			results[g] = got
 		}()
 	}

@@ -26,26 +26,46 @@ const cacheDatasets = 8
 
 var runCache = runner.NewCache(cacheDatasets)
 
-type distMatrixKey struct{}
+type distMatrixKey struct{ f32 bool }
 
-type opticsKey struct{ minPts int }
+type opticsKey struct {
+	minPts int
+	f32    bool
+}
+
+// The matrix builders are package variables so the equivalence tests can
+// swap in linalg.NewDistMatrixNaive (the scalar reference builder) and
+// prove that whole selections — not just matrix entries — are bit-identical
+// between the blocked quad-kernel path and the pre-optimization naive path.
+var (
+	buildDistMatrix   = linalg.NewDistMatrixCondensed
+	buildDistMatrix32 = linalg.NewDistMatrixCondensed32
+)
 
 // distMatrix returns the dataset's pairwise-distance matrix, computing it
-// at most once per cached dataset. The condensed (triangular) layout halves
-// the resident memory per cached dataset; its entries are bit-identical to
-// the square layout's, so OPTICS runs are unaffected.
-func distMatrix(ds *dataset.Dataset) *linalg.DistMatrix {
-	v, _ := runCache.Do(ds, distMatrixKey{}, func() (any, error) {
-		return linalg.NewDistMatrixCondensed(ds.X), nil
+// at most once per cached (dataset, precision). The condensed (triangular)
+// layout halves the resident memory per cached dataset; its entries are
+// bit-identical to the square layout's, so OPTICS runs are unaffected.
+// With f32 the condensed entries are additionally rounded to float32 —
+// half the memory again, at a documented 2⁻²⁴ relative error per entry
+// (see docs/performance.md) — and cached separately from the float64
+// matrix so mixed-precision grids never cross-contaminate.
+func distMatrix(ds *dataset.Dataset, f32 bool) *linalg.DistMatrix {
+	v, _ := runCache.Do(ds, distMatrixKey{f32}, func() (any, error) {
+		if f32 {
+			return buildDistMatrix32(ds.X), nil
+		}
+		return buildDistMatrix(ds.X), nil
 	})
 	return v.(*linalg.DistMatrix)
 }
 
-// opticsRun returns the dataset's OPTICS ordering for minPts, computing it
-// (on the shared distance matrix) at most once per cached dataset.
-func opticsRun(ds *dataset.Dataset, minPts int) (*optics.Result, error) {
-	v, err := runCache.Do(ds, opticsKey{minPts}, func() (any, error) {
-		return optics.RunWithMatrix(distMatrix(ds), minPts)
+// opticsRun returns the dataset's OPTICS ordering for (minPts, precision),
+// computing it (on the shared distance matrix of that precision) at most
+// once per cached dataset.
+func opticsRun(ds *dataset.Dataset, minPts int, f32 bool) (*optics.Result, error) {
+	v, err := runCache.Do(ds, opticsKey{minPts, f32}, func() (any, error) {
+		return optics.RunWithMatrix(distMatrix(ds, f32), minPts)
 	})
 	if err != nil {
 		return nil, err

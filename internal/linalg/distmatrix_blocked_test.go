@@ -1,0 +1,176 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The blocked builders must be bit-identical to the naive scalar reference
+// builder at every block size: blocking changes the pair visit order and
+// which kernel (quad vs scalar tail) computes an entry, but never the
+// value.
+func TestBlockedBitIdenticalToNaiveAllBlockSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 9, 16, 33, 70} {
+		for _, d := range []int{1, 3, 64} {
+			x := randomRows(r, n, d)
+			ref := NewDistMatrixNaive(x)
+			for _, block := range []int{1, 2, 3, 4, 5, 7, 8, 16, 64, 1024} {
+				sq := newDistMatrixBlocked(x, block)
+				tr := newDistMatrixCondensedBlocked(x, block)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						want := ref.At(i, j)
+						if got := sq.At(i, j); got != want {
+							t.Fatalf("n=%d d=%d block=%d: square At(%d,%d) = %v, naive %v",
+								n, d, block, i, j, got, want)
+						}
+						if got := tr.At(i, j); got != want {
+							t.Fatalf("n=%d d=%d block=%d: condensed At(%d,%d) = %v, naive %v",
+								n, d, block, i, j, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Default-block public builders must match the naive reference too (the
+// property the selection golden tests build on).
+func TestDefaultBuildersBitIdenticalToNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	x := randomRows(r, 301, 17) // > 2 blocks, odd sizes, partial tail group
+	ref := NewDistMatrixNaive(x)
+	sq := NewDistMatrix(x)
+	tr := NewDistMatrixCondensed(x)
+	for i := 0; i < 301; i++ {
+		for j := 0; j < 301; j++ {
+			if sq.At(i, j) != ref.At(i, j) || tr.At(i, j) != ref.At(i, j) {
+				t.Fatalf("At(%d,%d) differs from naive reference", i, j)
+			}
+		}
+	}
+}
+
+func TestRowIntoMatchesRow(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	x := randomRows(r, 23, 5)
+	for _, m := range []*DistMatrix{NewDistMatrix(x), NewDistMatrixCondensed(x), NewDistMatrixCondensed32(x)} {
+		buf := make([]float64, 23)
+		for i := 0; i < 23; i++ {
+			got := m.RowInto(buf, i)
+			if &got[0] != &buf[0] {
+				t.Fatalf("RowInto did not reuse dst")
+			}
+			want := m.Row(i)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("condensed=%v f32=%v: RowInto(%d)[%d] = %v, Row %v",
+						m.Condensed(), m.Float32(), i, j, got[j], want[j])
+				}
+				if got[j] != m.At(i, j) {
+					t.Fatalf("RowInto(%d)[%d] disagrees with At", i, j)
+				}
+			}
+		}
+	}
+}
+
+// RowInto is the OPTICS hot-loop variant: it must not allocate on any
+// layout (Row on condensed layouts allocates a fresh slice per call —
+// the regression this guards against reintroducing).
+func TestRowIntoDoesNotAllocate(t *testing.T) {
+	x := randomRows(rand.New(rand.NewSource(37)), 64, 8)
+	for _, m := range []*DistMatrix{NewDistMatrix(x), NewDistMatrixCondensed(x), NewDistMatrixCondensed32(x)} {
+		buf := make([]float64, 64)
+		allocs := testing.AllocsPerRun(100, func() {
+			for i := 0; i < 64; i += 7 {
+				m.RowInto(buf, i)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("condensed=%v f32=%v: RowInto allocates %v per run, want 0",
+				m.Condensed(), m.Float32(), allocs)
+		}
+	}
+}
+
+// The float32 layout stores each float64 distance rounded once to float32:
+// At must return exactly float64(float32(d64)) — equivalently, a relative
+// error of at most 2⁻²⁴ versus the float64 layout (documented in
+// docs/performance.md).
+func TestCondensed32Tolerance(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	x := randomRows(r, 57, 11)
+	m64 := NewDistMatrixCondensed(x)
+	m32 := NewDistMatrixCondensed32(x)
+	if !m32.Float32() || !m32.Condensed() {
+		t.Fatalf("Float32/Condensed flags wrong: %v %v", m32.Float32(), m32.Condensed())
+	}
+	if m64.Float32() {
+		t.Fatal("float64 layout reports Float32")
+	}
+	const relBound = 1.0 / (1 << 24) // one float32 ULP
+	buf32 := make([]float64, 57)
+	for i := 0; i < 57; i++ {
+		m32.RowInto(buf32, i)
+		for j := 0; j < 57; j++ {
+			d64 := m64.At(i, j)
+			d32 := m32.At(i, j)
+			if d32 != float64(float32(d64)) {
+				t.Fatalf("At(%d,%d) = %v, want exactly float64(float32(%v))", i, j, d32, d64)
+			}
+			if rel := math.Abs(d32-d64) / math.Max(d64, 1e-300); d64 != 0 && rel > relBound {
+				t.Fatalf("At(%d,%d): relative error %v exceeds 2^-24", i, j, rel)
+			}
+			if buf32[j] != d32 {
+				t.Fatalf("RowInto(%d)[%d] = %v, At %v", i, j, buf32[j], d32)
+			}
+		}
+	}
+}
+
+func TestCondensed32HalvesStorage(t *testing.T) {
+	x := randomRows(rand.New(rand.NewSource(47)), 40, 2)
+	m := NewDistMatrixCondensed32(x)
+	if got, want := len(m.d32), 40*39/2; got != want {
+		t.Fatalf("float32 backing slice has %d entries, want %d", got, want)
+	}
+	if m.d != nil {
+		t.Fatal("float32 layout also retains a float64 backing slice")
+	}
+}
+
+// BenchmarkDistMatrixBuild compares the naive scalar builder against the
+// blocked quad-kernel builder on 64-dimensional rows (the acceptance
+// benchmark also run by cmd/bench).
+func BenchmarkDistMatrixBuild(b *testing.B) {
+	x := randomRows(rand.New(rand.NewSource(3)), 256, 64)
+	bytes := int64(256 * 255 / 2 * 64 * 8)
+	b.Run("naive", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			NewDistMatrixNaive(x)
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			NewDistMatrix(x)
+		}
+	})
+	b.Run("blocked-condensed", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			NewDistMatrixCondensed(x)
+		}
+	})
+	b.Run("blocked-condensed32", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			NewDistMatrixCondensed32(x)
+		}
+	})
+}
