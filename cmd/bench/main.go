@@ -12,6 +12,7 @@
 //	bench                     # full run, append to BENCH_v5.json
 //	bench -short -o /tmp/b.json   # reduced sizes (CI smoke)
 //	bench -validate BENCH_v5.json # schema-check an existing ledger
+//	bench -trend BENCH_v5.json    # fail if the last record regressed >20%
 package main
 
 import (
@@ -39,8 +40,14 @@ func main() {
 		out      = flag.String("o", "BENCH_v5.json", "benchmark ledger to append to")
 		short    = flag.Bool("short", false, "reduced problem sizes (CI smoke run)")
 		validate = flag.String("validate", "", "validate the ledger at this path and exit")
+		trend    = flag.String("trend", "", "compare the ledger's last two comparable records and fail on regression, then exit")
+		trendMax = flag.Float64("trend-max", 0.20, "maximum tolerated ns/op regression fraction for -trend")
 	)
 	flag.Parse()
+
+	if *trend != "" {
+		os.Exit(trendCheck(*trend, *trendMax))
+	}
 
 	if *validate != "" {
 		recs, err := benchjson.Load(*validate)
@@ -157,6 +164,72 @@ func main() {
 	fmt.Printf("%-48s %12d ns\n", "SelectionWall/FOSC-OPTICSDend", rec.SelectionWallNs)
 	fmt.Printf("appended record %d to %s\n", len(mustLoad(*out)), *out)
 	_ = sink
+}
+
+// trendCheck compares the ledger's newest record against the most recent
+// earlier record of the same flavor (full vs -short — their problem sizes
+// differ, so cross-flavor ns/op is not comparable) and reports, per
+// benchmark name present in both, how ns/op moved. A regression beyond
+// maxRegression (fractional; 0.20 means +20%) fails the check. Fewer than
+// two comparable records is a trivial pass: the first committed record of
+// a flavor has no baseline yet.
+func trendCheck(path string, maxRegression float64) int {
+	recs := mustLoad(path)
+	if len(recs) == 0 {
+		fmt.Fprintf(os.Stderr, "%s: ledger has no records\n", path)
+		return 1
+	}
+	cur := recs[len(recs)-1]
+	var prev *benchjson.Record
+	for i := len(recs) - 2; i >= 0; i-- {
+		if recs[i].Short == cur.Short {
+			prev = &recs[i]
+			break
+		}
+	}
+	if prev == nil {
+		fmt.Printf("%s: no earlier short=%v record to compare against; trend check trivially passes\n", path, cur.Short)
+		return 0
+	}
+
+	base := map[string]float64{}
+	for _, b := range prev.Benchmarks {
+		base[b.Name] = b.NsPerOp
+	}
+	fmt.Printf("trend %s: %s -> %s (short=%v, limit +%.0f%%)\n",
+		path, shortSHA(prev.GitSHA), shortSHA(cur.GitSHA), cur.Short, maxRegression*100)
+	failed := false
+	compared := 0
+	for _, b := range cur.Benchmarks {
+		was, ok := base[b.Name]
+		if !ok || was <= 0 {
+			continue
+		}
+		compared++
+		delta := b.NsPerOp/was - 1
+		verdict := "ok"
+		if delta > maxRegression {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  %-48s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", b.Name, was, b.NsPerOp, delta*100, verdict)
+	}
+	if compared == 0 {
+		fmt.Println("  no benchmark names in common; trend check trivially passes")
+		return 0
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "trend check failed: ns/op regressed more than %.0f%% since the previous record\n", maxRegression*100)
+		return 1
+	}
+	return 0
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
 }
 
 // measure runs one benchmark function with testing.Benchmark and converts

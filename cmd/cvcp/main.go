@@ -51,6 +51,7 @@ func main() {
 		folds    = flag.Int("folds", 10, "cross-validation folds")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", -1, "concurrent grid tasks (-1 = one per CPU, 1 = serial; results are identical either way)")
+		matrix32 = flag.Bool("matrix32", false, "store the FOSC OPTICS distance matrix in float32 (half the memory; requires fosc in -algo)")
 		progress = flag.Bool("progress", false, "report grid progress on stderr")
 		quiet    = flag.Bool("quiet", false, "suppress the per-object assignment output")
 	)
@@ -89,7 +90,7 @@ func main() {
 		seen[name] = true
 		switch name {
 		case "fosc":
-			grid = append(grid, root.Candidate{Algorithm: root.FOSCOpticsDend{}, Params: root.DefaultMinPtsRange})
+			grid = append(grid, root.Candidate{Algorithm: root.FOSCOpticsDend{Matrix32: *matrix32}, Params: root.DefaultMinPtsRange})
 		case "mpck":
 			grid = append(grid, root.Candidate{Algorithm: root.MPCKMeans{}, Params: root.KRange(*kmin, *kmax)})
 		case "copk":
@@ -97,6 +98,9 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown -algo %q (want fosc, mpck or copk)", name))
 		}
+	}
+	if *matrix32 && !seen["fosc"] {
+		fatal(fmt.Errorf("-matrix32 applies only to the fosc method (add fosc to -algo)"))
 	}
 
 	var sup root.Supervision

@@ -32,6 +32,17 @@
 // On SIGTERM/SIGINT the server stops accepting jobs, gives running and
 // queued jobs -drain-timeout to finish, force-cancels whatever remains,
 // compacts the store and exits.
+//
+// Distributed topologies (-role): a coordinator serves the same API but
+// shards every distributable job's grid through the shared store, where
+// worker processes — started with -role=worker over the same -store-dir —
+// lease and compute the shards. Deterministic seeding makes any topology
+// (including one that loses workers mid-shard) select bit-identically to
+// a single process:
+//
+//	cvcpd -role=coordinator -store-dir /shared/cvcpd -addr :8080
+//	cvcpd -role=worker      -store-dir /shared/cvcpd
+//	cvcpd -role=worker      -store-dir /shared/cvcpd
 package main
 
 import (
@@ -62,6 +73,11 @@ func main() {
 		readHeader   = flag.Duration("read-header-timeout", 10*time.Second, "time limit for reading a request's headers")
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "time limit for reading a whole request, body included — size it to -max-body over your slowest client link (0 = none)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+		role         = flag.String("role", "single", "topology role: single (compute in-process), coordinator (shard jobs into the shared store), worker (lease and compute shards; serves no API)")
+		workerID     = flag.String("worker-id", "", "unique worker name in the topology (default hostname-pid)")
+		shardCells   = flag.Int("shard-cells", 0, "coordinator: target grid cells per shard (0 = 16)")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "shard lease lifetime without heartbeat before reclaim (0 = 10s)")
+		poll         = flag.Duration("poll", 0, "shard watch/scan interval (0 = 100ms)")
 	)
 	flag.Parse()
 
@@ -71,17 +87,44 @@ func main() {
 		WorkerBudget:   *workers,
 		RetainFinished: *retain,
 		MaxBodyBytes:   *maxBody,
+		ShardCells:     *shardCells,
+		LeaseTTL:       *leaseTTL,
+		Poll:           *poll,
 	}
-	var fileStore *store.File
-	if *storeDir != "" {
-		var err error
-		if fileStore, err = store.Open(*storeDir); err != nil {
+	var closeStore func() error
+	switch server.Role(*role) {
+	case server.RoleSingle:
+		if *storeDir != "" {
+			fileStore, err := store.Open(*storeDir)
+			if err != nil {
+				fatal(err)
+			}
+			if n, err := fileStore.Len(); err == nil && n > 0 {
+				fmt.Fprintf(os.Stderr, "cvcpd: replaying %d record(s) from %s\n", n, *storeDir)
+			}
+			cfg.Store = fileStore
+			closeStore = fileStore.Close
+		}
+	case server.RoleCoordinator, server.RoleWorker:
+		// Distributed roles share one store directory across processes;
+		// the multi-process store coordinates through a file lock.
+		if *storeDir == "" {
+			fatal(fmt.Errorf("-role=%s requires -store-dir (the topology's shared store)", *role))
+		}
+		shared, err := store.OpenShared(*storeDir)
+		if err != nil {
 			fatal(err)
 		}
-		if n, err := fileStore.Len(); err == nil && n > 0 {
-			fmt.Fprintf(os.Stderr, "cvcpd: replaying %d record(s) from %s\n", n, *storeDir)
-		}
-		cfg.Store = fileStore
+		cfg.Store = shared
+		cfg.Role = server.Role(*role)
+		closeStore = shared.Close
+	default:
+		fatal(fmt.Errorf("unknown -role %q (want single, coordinator or worker)", *role))
+	}
+
+	if cfg.Role == server.RoleWorker {
+		runWorker(cfg, *workerID, *workers, *leaseTTL, *poll, closeStore)
+		return
 	}
 
 	mgr := server.NewManager(cfg)
@@ -128,8 +171,40 @@ func main() {
 	}
 	// Compact the final job states into the snapshot after the drain, so
 	// the next start replays a clean store.
-	if fileStore != nil {
-		if err := fileStore.Close(); err != nil {
+	if closeStore != nil {
+		if err := closeStore(); err != nil {
+			fmt.Fprintf(os.Stderr, "cvcpd: closing job store: %v\n", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "cvcpd: bye")
+}
+
+// runWorker is the headless worker role: no HTTP server, no job manager —
+// just the shard lease/compute loop against the shared store until
+// SIGTERM/SIGINT.
+func runWorker(cfg server.Config, id string, workers int, leaseTTL, poll time.Duration, closeStore func() error) {
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "cvcpd: worker %s computing shards (workers=%d)\n", id, workers)
+	err := server.RunWorker(ctx, server.WorkerConfig{
+		Store:    cfg.Store,
+		ID:       id,
+		Workers:  workers,
+		LeaseTTL: leaseTTL,
+		Poll:     poll,
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "cvcpd:", err)
+	}
+	if closeStore != nil {
+		if err := closeStore(); err != nil {
 			fmt.Fprintf(os.Stderr, "cvcpd: closing job store: %v\n", err)
 		}
 	}

@@ -98,10 +98,13 @@ var requiredAPIDocs = map[string][]string{
 	"docs/api.md": {
 		"algorithms", "scorer", "bootstrap_rounds", "candidates",
 		"Last-Event-ID", "read-header-timeout", "read-timeout", "idle-timeout",
+		"matrix32", "shard_status", "-role", "-worker-id", "-shard-cells",
+		"-lease-ttl", "-poll",
 	},
 	"docs/architecture.md": {
 		"Select", "Spec", "Grid", "Supervision", "Scorer",
 		"EventLog", "Last-Event-ID",
+		"coordinator", "dist.Worker", "lease", "epoch", "Float64bits",
 	},
 	"docs/performance.md": {
 		"Dist4", "SqDist4", "Pack4", "NewDistMatrixNaive", "RowInto",

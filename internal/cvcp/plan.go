@@ -1,0 +1,151 @@
+package cvcp
+
+import (
+	"context"
+	"fmt"
+
+	"cvcp/internal/constraints"
+	"cvcp/internal/dataset"
+	"cvcp/internal/runner"
+)
+
+// PartitionScorer is the subset of scorers whose workload is a
+// (candidate, parameter, fold) grid of independent cells —
+// CrossValidation and Bootstrap. Folds materializes the evaluation
+// folds deterministically from (supervision, options), which is what
+// makes the grid distributable: every node reconstructs identical folds
+// from the spec alone, so a cell computes bit-identically anywhere.
+// Validity is not a PartitionScorer (its sweep partitions double as the
+// final clusterings, a cross-cell dependency), so validity jobs stay
+// single-node.
+type PartitionScorer interface {
+	Scorer
+	Folds(ds *dataset.Dataset, sup Supervision, opt Options) ([]Fold, *constraints.Set, error)
+}
+
+// CellPlan is a selection's cell grid, planned but not executed: the
+// deterministic folds plus everything needed to compute any contiguous
+// cell subrange (ScoreRange) or merge a complete set of cell scores
+// into the final Result (Finalize). Cells linearize candidate-major —
+// ci outermost, then parameter, then fold — matching cellTasks' task
+// order, so cell index c of a plan is task index c of the single-node
+// engine run.
+//
+// The contract underpinning distributed execution: for any partition of
+// [0, NumCells()) into ranges, computing each range with ScoreRange (on
+// any node, at any worker count) and passing the concatenated scores to
+// Finalize yields a Result bit-identical to Select on the same Spec.
+type CellPlan struct {
+	ds     *dataset.Dataset
+	grid   Grid
+	folds  []Fold
+	full   *constraints.Set
+	opt    Options
+	scorer Scorer
+	cells  int
+}
+
+// PlanCells validates the spec and materializes its fold plan. It fails
+// when the spec's scorer is not partition-based; callers fall back to
+// single-node Select.
+func PlanCells(spec Spec) (*CellPlan, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	scorer := spec.Scorer
+	if scorer == nil {
+		scorer = CrossValidation{}
+	}
+	ps, ok := scorer.(PartitionScorer)
+	if !ok {
+		return nil, fmt.Errorf("cvcp: scorer %s is not partition-based; its grid cannot be sharded", scorer.Name())
+	}
+	folds, full, err := ps.Folds(spec.Dataset, spec.Supervision, spec.Options)
+	if err != nil {
+		return nil, err
+	}
+	cells := 0
+	for _, cand := range spec.Grid {
+		cells += len(cand.Params) * len(folds)
+	}
+	return &CellPlan{
+		ds:     spec.Dataset,
+		grid:   spec.Grid,
+		folds:  folds,
+		full:   full,
+		opt:    spec.Options,
+		scorer: scorer,
+		cells:  cells,
+	}, nil
+}
+
+// NumCells returns the total cell count of the grid.
+func (p *CellPlan) NumCells() int { return p.cells }
+
+// ScoreRange computes the cells in [lo, hi) and returns their scores in
+// cell order. workers and limiter are the executing node's own
+// machine-local budget — they affect scheduling only, never the scores,
+// which derive purely from grid position.
+func (p *CellPlan) ScoreRange(ctx context.Context, lo, hi int, workers int, limiter *runner.Limiter) ([]float64, error) {
+	if lo < 0 || hi > p.cells || lo > hi {
+		return nil, fmt.Errorf("cvcp: cell range [%d, %d) outside grid of %d cells", lo, hi, p.cells)
+	}
+	scores := newScoreGrid(p.grid, len(p.folds))
+	tasks := cellTasks(p.ds, p.grid, p.folds, p.opt.Seed, scores)
+	ropt := runner.Options{Workers: workers, Context: ctx, Limiter: limiter}
+	if err := runner.RunRange(ropt, tasks, lo, hi); err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, hi-lo)
+	c := 0
+	for ci, cand := range p.grid {
+		for pi := range cand.Params {
+			for fi := range p.folds {
+				if c >= lo && c < hi {
+					out = append(out, scores[ci][pi].FoldScores[fi])
+				}
+				c++
+			}
+		}
+	}
+	return out, nil
+}
+
+// Finalize merges a complete set of per-cell scores — cellScores[c] is
+// cell c's score, typically concatenated from ScoreRange calls — into
+// the final Result: the single-node reduction (per-parameter fold
+// means, first-best parameter scan), the per-candidate refits with the
+// full supervision, and the scorer's winner comparison, all via the
+// same helpers Select's path uses. workers and limiter bound the refit
+// clusterings on this node.
+func (p *CellPlan) Finalize(ctx context.Context, cellScores []float64, workers int, limiter *runner.Limiter) (*Result, error) {
+	if len(cellScores) != p.cells {
+		return nil, fmt.Errorf("cvcp: %d cell scores for a grid of %d cells", len(cellScores), p.cells)
+	}
+	scores := newScoreGrid(p.grid, len(p.folds))
+	c := 0
+	for ci, cand := range p.grid {
+		for pi := range cand.Params {
+			for fi := range p.folds {
+				scores[ci][pi].FoldScores[fi] = cellScores[c]
+				c++
+			}
+		}
+	}
+	sels := reduceScores(p.grid, scores)
+	opt := p.opt
+	opt.Context = ctx
+	opt.Workers = workers
+	opt.Limiter = limiter
+	opt.Progress = nil
+	if err := refitFinals(p.ds, p.grid, p.full, opt, sels); err != nil {
+		return nil, err
+	}
+	res := &Result{PerCandidate: sels}
+	for _, sel := range sels {
+		if res.Winner == nil || p.scorer.Better(sel.Best.Score, res.Winner.Best.Score) {
+			res.Winner = sel
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package cvcp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"cvcp/internal/stats"
+)
+
+// TestCellPlanMatchesSelect is the distributed-determinism contract at the
+// planning layer: for several shardings of the cell grid — including
+// out-of-order range execution and differing per-range worker counts —
+// computing each range with ScoreRange and merging the concatenated scores
+// with Finalize must reproduce Select's Result bit-for-bit.
+func TestCellPlanMatchesSelect(t *testing.T) {
+	ds := blobsDataset(41, 3, 20, 15)
+	labeled := ds.SampleLabels(stats.NewRand(42), 0.3)
+	spec := Spec{
+		Dataset: ds,
+		Grid: Grid{
+			{Algorithm: FOSCOpticsDend{}, Params: []int{3, 6, 9}},
+			{Algorithm: MPCKMeans{}, Params: []int{2, 3, 4}},
+		},
+		Supervision: Labels(labeled),
+		Options:     Options{Seed: 43, Workers: 2},
+	}
+	want, err := Select(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := PlanCells(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := plan.NumCells()
+	if folds := 0; true {
+		for _, ps := range want.PerCandidate[0].Scores {
+			folds = len(ps.FoldScores)
+			break
+		}
+		if wantCells := 6 * folds; n != wantCells {
+			t.Fatalf("NumCells() = %d, want %d", n, wantCells)
+		}
+	}
+
+	for _, per := range []int{1, 4, n, n + 7} {
+		var ranges [][2]int
+		for lo := 0; lo < n; lo += per {
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			ranges = append(ranges, [2]int{lo, hi})
+		}
+		// Execute the ranges back-to-front with varying worker counts:
+		// neither order nor local parallelism may leak into the scores.
+		cellScores := make([]float64, n)
+		for i := len(ranges) - 1; i >= 0; i-- {
+			lo, hi := ranges[i][0], ranges[i][1]
+			part, err := plan.ScoreRange(context.Background(), lo, hi, 1+i%3, nil)
+			if err != nil {
+				t.Fatalf("ScoreRange(%d, %d): %v", lo, hi, err)
+			}
+			if len(part) != hi-lo {
+				t.Fatalf("ScoreRange(%d, %d) returned %d scores", lo, hi, len(part))
+			}
+			copy(cellScores[lo:hi], part)
+		}
+		got, err := plan.Finalize(context.Background(), cellScores, 2, nil)
+		if err != nil {
+			t.Fatalf("Finalize (per=%d): %v", per, err)
+		}
+		if len(got.PerCandidate) != len(want.PerCandidate) {
+			t.Fatalf("per=%d: %d candidates, want %d", per, len(got.PerCandidate), len(want.PerCandidate))
+		}
+		for ci := range want.PerCandidate {
+			equalSelection(t, want.PerCandidate[ci], got.PerCandidate[ci], "sharded vs Select")
+		}
+		equalSelection(t, want.Winner, got.Winner, "winner")
+	}
+}
+
+func TestPlanCellsRejectsValidityScorer(t *testing.T) {
+	ds := blobsDataset(44, 3, 15, 12)
+	labeled := ds.SampleLabels(stats.NewRand(45), 0.3)
+	spec := Spec{
+		Dataset:     ds,
+		Grid:        Grid{{Algorithm: MPCKMeans{}, Params: []int{2, 3}}},
+		Supervision: Labels(labeled),
+		Scorer:      Validity{Index: silhouetteIndex()},
+	}
+	if _, err := PlanCells(spec); err == nil || !strings.Contains(err.Error(), "not partition-based") {
+		t.Fatalf("PlanCells with validity scorer: err = %v, want not-partition-based", err)
+	}
+}
+
+func TestCellPlanRangeAndMergeErrors(t *testing.T) {
+	ds := blobsDataset(46, 3, 15, 12)
+	labeled := ds.SampleLabels(stats.NewRand(47), 0.3)
+	plan, err := PlanCells(Spec{
+		Dataset:     ds,
+		Grid:        Grid{{Algorithm: MPCKMeans{}, Params: []int{2, 3}}},
+		Supervision: Labels(labeled),
+		Options:     Options{Seed: 48},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := plan.NumCells()
+	for _, r := range [][2]int{{-1, 1}, {0, n + 1}, {2, 1}} {
+		if _, err := plan.ScoreRange(context.Background(), r[0], r[1], 1, nil); err == nil {
+			t.Errorf("ScoreRange(%d, %d) accepted an invalid range", r[0], r[1])
+		}
+	}
+	if _, err := plan.Finalize(context.Background(), make([]float64, n-1), 1, nil); err == nil {
+		t.Error("Finalize accepted a short score vector")
+	}
+}

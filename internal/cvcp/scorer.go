@@ -80,9 +80,15 @@ func (CrossValidation) Name() string { return "cross-validation" }
 // Better implements Scorer: larger constraint F-measure wins.
 func (CrossValidation) Better(a, b float64) bool { return a > b }
 
+// Folds implements PartitionScorer: n-fold splits of the supervision,
+// deterministic from (supervision, fold count, seed).
+func (CrossValidation) Folds(ds *dataset.Dataset, sup Supervision, opt Options) ([]Fold, *constraints.Set, error) {
+	return sup.CVFolds(ds, opt.nFolds(), opt.Seed)
+}
+
 // Score implements Scorer.
-func (CrossValidation) Score(ds *dataset.Dataset, grid Grid, sup Supervision, opt Options) ([]*Selection, error) {
-	folds, full, err := sup.CVFolds(ds, opt.nFolds(), opt.Seed)
+func (cv CrossValidation) Score(ds *dataset.Dataset, grid Grid, sup Supervision, opt Options) ([]*Selection, error) {
+	folds, full, err := cv.Folds(ds, sup, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -112,9 +118,15 @@ func (b Bootstrap) rounds() int {
 	return b.Rounds
 }
 
+// Folds implements PartitionScorer: bootstrap resamples of the
+// supervision, deterministic from (supervision, round count, seed).
+func (b Bootstrap) Folds(ds *dataset.Dataset, sup Supervision, opt Options) ([]Fold, *constraints.Set, error) {
+	return sup.BootstrapFolds(ds, b.rounds(), opt.Seed)
+}
+
 // Score implements Scorer.
 func (b Bootstrap) Score(ds *dataset.Dataset, grid Grid, sup Supervision, opt Options) ([]*Selection, error) {
-	folds, full, err := sup.BootstrapFolds(ds, b.rounds(), opt.Seed)
+	folds, full, err := b.Folds(ds, sup, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -170,18 +182,48 @@ func (v Validity) Score(ds *dataset.Dataset, grid Grid, sup Supervision, opt Opt
 // derivation the per-candidate legacy entry points used, so a multi-candidate
 // run is bit-identical to running each candidate alone.
 func partitionScore(ds *dataset.Dataset, grid Grid, folds []Fold, full *constraints.Set, opt Options) ([]*Selection, error) {
+	scores := newScoreGrid(grid, len(folds))
+	tasks := cellTasks(ds, grid, folds, opt.Seed, scores)
+	if err := runner.Run(opt.engineOptions(), tasks); err != nil {
+		return nil, err
+	}
+	out := reduceScores(grid, scores)
+	if err := refitFinals(ds, grid, full, opt, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// newScoreGrid allocates the per-candidate score matrix the cell tasks
+// write into: scores[ci][pi].FoldScores[fi] is one cell's output slot.
+func newScoreGrid(grid Grid, nFolds int) [][]ParamScore {
 	scores := make([][]ParamScore, len(grid))
-	tasks := make([]runner.Task, 0)
 	for ci, cand := range grid {
 		scores[ci] = make([]ParamScore, len(cand.Params))
 		for pi, p := range cand.Params {
-			scores[ci][pi] = ParamScore{Param: p, FoldScores: make([]float64, len(folds))}
+			scores[ci][pi] = ParamScore{Param: p, FoldScores: make([]float64, nFolds)}
+		}
+	}
+	return scores
+}
+
+// cellTasks builds one engine task per (candidate, parameter, fold) cell
+// in canonical cell order — ci outermost, then pi, then fi — the
+// linearization the distributed layer's shard ranges index into. Each
+// cell's seed derives from its within-candidate grid position
+// (stats.SplitSeed(seed, pi*len(folds)+fi+1)), exactly the derivation
+// the per-candidate legacy entry points used, so any contiguous subrange
+// computes bit-identically to those cells of the full grid.
+func cellTasks(ds *dataset.Dataset, grid Grid, folds []Fold, seed int64, scores [][]ParamScore) []runner.Task {
+	tasks := make([]runner.Task, 0)
+	for ci, cand := range grid {
+		for pi := range cand.Params {
 			for fi := range folds {
 				ci, pi, fi := ci, pi, fi
 				tasks = append(tasks, func(context.Context) error {
 					cand := grid[ci]
-					seed := stats.SplitSeed(opt.Seed, pi*len(folds)+fi+1)
-					labels, err := cand.Algorithm.Cluster(ds, folds[fi].Train, cand.Params[pi], seed)
+					cellSeed := stats.SplitSeed(seed, pi*len(folds)+fi+1)
+					labels, err := cand.Algorithm.Cluster(ds, folds[fi].Train, cand.Params[pi], cellSeed)
 					if err != nil {
 						return fmt.Errorf("cvcp: %s with parameter %d: %w", cand.Algorithm.Name(), cand.Params[pi], err)
 					}
@@ -191,10 +233,14 @@ func partitionScore(ds *dataset.Dataset, grid Grid, folds []Fold, full *constrai
 			}
 		}
 	}
-	if err := runner.Run(opt.engineOptions(), tasks); err != nil {
-		return nil, err
-	}
+	return tasks
+}
 
+// reduceScores folds per-cell scores into per-candidate selections: each
+// parameter's score is the mean over folds, and the best parameter is
+// the first strictly-greater scan in parameter order — the single-node
+// reduction every distributed merge must reproduce exactly.
+func reduceScores(grid Grid, scores [][]ParamScore) []*Selection {
 	out := make([]*Selection, len(grid))
 	for ci, cand := range grid {
 		for pi := range scores[ci] {
@@ -208,12 +254,16 @@ func partitionScore(ds *dataset.Dataset, grid Grid, folds []Fold, full *constrai
 		}
 		out[ci] = &Selection{Algorithm: cand.Algorithm.Name(), Best: best, Scores: scores[ci]}
 	}
+	return out
+}
 
-	// The final clusterings dispatch through the engine too — one task per
-	// candidate, still under the shared Limiter and context — with the same
-	// seed derivation the legacy single-candidate path used. Progress
-	// reporting covers the scoring grid only, so the callback never sees a
-	// second, smaller (done, total) sequence after the grid completed.
+// refitFinals computes each candidate's final clustering with the full
+// supervision. The final clusterings dispatch through the engine too —
+// one task per candidate, still under the shared Limiter and context —
+// with the same seed derivation the legacy single-candidate path used.
+// Progress reporting covers the scoring grid only, so the callback never
+// sees a second, smaller (done, total) sequence after the grid completed.
+func refitFinals(ds *dataset.Dataset, grid Grid, full *constraints.Set, opt Options, out []*Selection) error {
 	fopt := opt.engineOptions()
 	fopt.OnProgress = nil
 	finals := make([]runner.Task, len(grid))
@@ -230,11 +280,11 @@ func partitionScore(ds *dataset.Dataset, grid Grid, folds []Fold, full *constrai
 	}
 	if err := runner.Run(fopt, finals); err != nil {
 		if opt.Context != nil && opt.Context.Err() != nil {
-			return nil, opt.Context.Err()
+			return opt.Context.Err()
 		}
-		return nil, fmt.Errorf("cvcp: final clustering: %w", err)
+		return fmt.Errorf("cvcp: final clustering: %w", err)
 	}
-	return out, nil
+	return nil
 }
 
 // validityScore runs one full-supervision parameter sweep per candidate —

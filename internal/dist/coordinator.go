@@ -1,0 +1,269 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Default tuning. ShardCells trades scheduling granularity against
+// store traffic; maxShards bounds the record count (and the poll scan)
+// for very large grids.
+const (
+	defaultShardCells = 16
+	defaultPoll       = 100 * time.Millisecond
+	maxShards         = 256
+)
+
+// ShardEvent is one observed shard transition, reported by the
+// coordinator's poll loop in the order observed. Transitions for a shard
+// are monotone (leased may repeat across reclaims; done and failed are
+// terminal), and Done lets a listener render shard-level progress
+// without tracking state itself.
+type ShardEvent struct {
+	// Shard is the shard index; Shards the job's total.
+	Shard  int
+	Shards int
+	// Lo and Hi bound the shard's cell range [Lo, Hi).
+	Lo int
+	Hi int
+	// Status is the transition: ShardLeased, ShardDone, or "failed".
+	Status string
+	// Worker is the owner at the transition.
+	Worker string
+	// Done counts the job's finished shards as of this event.
+	Done int
+}
+
+// ShardFailed is the ShardEvent status of a shard whose partial carries
+// an error.
+const ShardFailed = "failed"
+
+// Coordinator plans grids into shards and merges the partials workers
+// write back. One coordinator serves one topology; the manager calls
+// RunJob once per distributed job.
+type Coordinator struct {
+	// Store is the shared store of the topology.
+	Store Store
+	// ShardCells is the target cells per shard; 0 means 16. Grids large
+	// enough to exceed 256 shards get proportionally bigger shards.
+	ShardCells int
+	// Poll is the shard-watch interval; 0 means 100ms.
+	Poll time.Duration
+}
+
+func (c *Coordinator) shardCells(cells int) int {
+	per := c.ShardCells
+	if per < 1 {
+		per = defaultShardCells
+	}
+	if min := (cells + maxShards - 1) / maxShards; per < min {
+		per = min
+	}
+	return per
+}
+
+func (c *Coordinator) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return defaultPoll
+}
+
+// planShards splits [0, cells) into contiguous ranges of per cells (the
+// last one possibly shorter).
+func planShards(cells, per int) [][2]int {
+	var out [][2]int
+	for lo := 0; lo < cells; lo += per {
+		hi := lo + per
+		if hi > cells {
+			hi = cells
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// RunJob distributes one job: it publishes the grid and its pending
+// shards, waits for workers to compute every shard, and returns the
+// assembled per-cell score vector — in cell order, ready for
+// cvcp.CellPlan.Finalize. onShard, when non-nil, observes shard
+// transitions (from the coordinator's poll cadence, so transient states
+// between polls may be skipped).
+//
+// RunJob starts by deleting any records a previous incarnation of the
+// job left behind — the coordinator-restart path: the re-queued job
+// replans and every shard recomputes to the same bits. All distribution
+// records are deleted again before returning, on success, failure and
+// cancellation alike; workers mid-shard at cancellation notice the
+// deletion through their heartbeat and abort. When several shards fail,
+// the error of the lowest-indexed one is returned, mirroring the
+// engine's deterministic error selection.
+func (c *Coordinator) RunJob(ctx context.Context, job GridJob, dataset json.RawMessage, onShard func(ShardEvent)) ([]float64, error) {
+	if job.ID == "" {
+		return nil, fmt.Errorf("dist: grid job without ID")
+	}
+	if job.Cells < 1 {
+		return nil, fmt.Errorf("dist: grid job %s has %d cells", job.ID, job.Cells)
+	}
+	ranges := planShards(job.Cells, c.shardCells(job.Cells))
+	if err := c.cleanup(job.ID); err != nil {
+		return nil, err
+	}
+	defer c.cleanup(job.ID)
+
+	grid, err := gridRecord(job, dataset)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Store.Put(grid); err != nil {
+		return nil, fmt.Errorf("dist: publishing grid record: %w", err)
+	}
+	for i, r := range ranges {
+		rec, err := shardRecord(ShardState{Job: job.ID, Index: i, Lo: r[0], Hi: r[1]}, ShardPending)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Store.Put(rec); err != nil {
+			return nil, fmt.Errorf("dist: publishing shard %d: %w", i, err)
+		}
+	}
+	return c.watch(ctx, job, ranges, onShard)
+}
+
+// watch polls the shard records until every shard is done and its
+// partial collected, reporting transitions along the way.
+func (c *Coordinator) watch(ctx context.Context, job GridJob, ranges [][2]int, onShard func(ShardEvent)) ([]float64, error) {
+	type seen struct {
+		status string
+		owner  string
+		epoch  int
+	}
+	last := make([]seen, len(ranges))
+	parts := make([]*Partial, len(ranges))
+	collected := 0
+
+	ticker := time.NewTicker(c.poll())
+	defer ticker.Stop()
+	for {
+		for i := range ranges {
+			if parts[i] != nil {
+				continue
+			}
+			rec, ok, err := c.Store.Get(ShardID(job.ID, i))
+			if err != nil {
+				return nil, fmt.Errorf("dist: reading shard %d: %w", i, err)
+			}
+			if !ok {
+				return nil, fmt.Errorf("dist: shard record %d of job %s vanished", i, job.ID)
+			}
+			st, err := decodeShardState(rec)
+			if err != nil {
+				return nil, err
+			}
+			if rec.Status == ShardDone {
+				prec, ok, err := c.Store.Get(PartID(job.ID, i))
+				if err != nil {
+					return nil, fmt.Errorf("dist: reading partial %d: %w", i, err)
+				}
+				if !ok {
+					continue // done raced ahead of our view of the partial; next poll
+				}
+				p, err := decodePartial(prec)
+				if err != nil {
+					return nil, err
+				}
+				if p.Error == "" && len(p.ScoreBits) != ranges[i][1]-ranges[i][0] {
+					return nil, fmt.Errorf("dist: partial %d of job %s has %d scores for range [%d, %d)",
+						i, job.ID, len(p.ScoreBits), ranges[i][0], ranges[i][1])
+				}
+				parts[i] = &p
+				collected++
+				if onShard != nil {
+					status := ShardDone
+					if p.Error != "" {
+						status = ShardFailed
+					}
+					onShard(ShardEvent{Shard: i, Shards: len(ranges), Lo: ranges[i][0], Hi: ranges[i][1],
+						Status: status, Worker: p.Worker, Done: collected})
+				}
+				continue
+			}
+			now := seen{status: rec.Status, owner: st.Owner, epoch: st.Epoch}
+			if now != last[i] {
+				last[i] = now
+				if rec.Status == ShardLeased && onShard != nil {
+					onShard(ShardEvent{Shard: i, Shards: len(ranges), Lo: ranges[i][0], Hi: ranges[i][1],
+						Status: ShardLeased, Worker: st.Owner, Done: collected})
+				}
+			}
+		}
+		if collected == len(ranges) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+
+	for _, p := range parts {
+		if p.Error != "" {
+			return nil, fmt.Errorf("dist: shard %d (cells [%d, %d)) failed on %s: %s",
+				p.Index, p.Lo, p.Hi, p.Worker, p.Error)
+		}
+	}
+	scores := make([]float64, 0, job.Cells)
+	for _, p := range parts {
+		scores = append(scores, decodeScores(p.ScoreBits)...)
+	}
+	return scores, nil
+}
+
+// cleanup deletes the job's grid, shard and partial records. The grid
+// record goes first, so a worker scanning mid-cleanup cannot acquire a
+// shard whose job is already being torn down and still resolve its grid.
+func (c *Coordinator) cleanup(jobID string) error {
+	if err := c.Store.Delete(GridID(jobID)); err != nil {
+		return fmt.Errorf("dist: deleting grid record: %w", err)
+	}
+	// A previous incarnation may have used a different shard count;
+	// sweep by prefix rather than by the current plan.
+	for _, prefix := range []string{"shard-" + jobID + "-", "part-" + jobID + "-"} {
+		ids, err := idsWithPrefix(c.Store, prefix)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			if err := c.Store.Delete(id); err != nil {
+				return fmt.Errorf("dist: deleting %s: %w", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// idsWithPrefix pages through the store and returns the IDs sharing the
+// prefix, exploiting the store's ascending-ID listing order.
+func idsWithPrefix(s Store, prefix string) ([]string, error) {
+	var out []string
+	cursor := prefix // IDs with the prefix sort strictly after it
+	for {
+		recs, next, err := s.List(cursor, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dist: listing %s records: %w", prefix, err)
+		}
+		for _, rec := range recs {
+			if len(rec.ID) < len(prefix) || rec.ID[:len(prefix)] != prefix {
+				return out, nil
+			}
+			out = append(out, rec.ID)
+		}
+		if next == "" {
+			return out, nil
+		}
+		cursor = next
+	}
+}

@@ -1,0 +1,226 @@
+// Package dist distributes one CVCP selection's cell grid across
+// processes sharing a single store — the coordinator/worker split of the
+// cvcpd job manager.
+//
+// The unit of distribution is the cell: one (candidate, parameter, fold)
+// clustering-and-score, indexed by its canonical position in the grid's
+// linearization (see cvcp.CellPlan). Because every cell's seed and fold
+// assignment derive from the job spec alone, any process that can decode
+// the spec computes any cell bit-identically; distribution is therefore
+// pure work division, never a source of nondeterminism.
+//
+// Roles, over one shared store (store.Shared in production, any
+// Store+Updater in tests):
+//
+//   - The Coordinator plans the grid into contiguous cell-range shards,
+//     publishes one grid record (spec + dataset payload) and one pending
+//     shard record per range, then polls: it reports lease transitions,
+//     collects the partial-score records of finished shards, and when all
+//     shards are done returns the assembled per-cell score vector — which
+//     the caller merges with cvcp.CellPlan.Finalize, the same reduction
+//     the single-node path runs.
+//   - Workers scan for shard records that are pending — or leased but
+//     expired, the crash-recovery path — and acquire them by
+//     compare-and-swap: set themselves as owner, bump the lease epoch,
+//     stamp an expiry. A heartbeat renews the lease at a third of its
+//     TTL; a worker that loses its lease (expired and reclaimed, or the
+//     job was cancelled and its records deleted) aborts the computation
+//     and writes nothing. On success the worker writes a partial record
+//     with the shard's scores and marks the shard done.
+//
+// Crash recovery is recomputation: a kill -9'd worker simply stops
+// renewing, its shards' leases expire, and any worker re-acquires them
+// with a higher epoch and produces the same bits. A restarted
+// coordinator deletes the job's stale records and replans from the spec
+// — every shard recomputes deterministically, so the selection is
+// unchanged. The one benign race — a worker with a stale lease finishing
+// after its shard was reclaimed — can at worst overwrite a partial
+// record with identical bytes, because partial contents are a pure
+// function of the spec and the cell range; the stale worker's
+// done-transition is rejected by the epoch check.
+//
+// Scores travel as IEEE-754 bit patterns ([]uint64), not JSON floats:
+// the coordinator reassembles exactly the bits the worker computed, NaN
+// payloads included, so the distributed result is bit-identical to the
+// single-node one by construction rather than by rounding luck.
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"cvcp/internal/store"
+)
+
+// Store is what distribution requires of the shared store: the job-store
+// contract plus the atomic read-modify-write that shard leases are built
+// on. store.Shared, store.File and store.Memory all satisfy it.
+type Store interface {
+	store.Store
+	store.Updater
+}
+
+// Shard lifecycle states, kept in the shard record's Status field.
+const (
+	ShardPending = "pending" // unleased: any worker may acquire
+	ShardLeased  = "leased"  // owned; reclaimable once the lease expires
+	ShardDone    = "done"    // partial record written; terminal
+)
+
+// GridJob is the payload of a grid record — everything a worker needs to
+// reconstruct the job's cell plan, minus the dataset, which rides in the
+// record's Dataset field.
+type GridJob struct {
+	// ID is the owning job's ID (the manager's "job-..." identifier).
+	ID string `json:"id"`
+	// Spec is the serialized selection spec, opaque to this package; the
+	// worker's resolver decodes it (the server uses its job-spec JSON).
+	Spec json.RawMessage `json:"spec"`
+	// Cells is the total cell count of the grid — the worker
+	// cross-checks it against the plan it resolves, so a spec/plan
+	// mismatch fails loudly instead of computing garbage.
+	Cells int `json:"cells"`
+}
+
+// ShardState is the payload of a shard record: one contiguous cell range
+// plus its lease.
+type ShardState struct {
+	// Job is the owning job's ID.
+	Job string `json:"job"`
+	// Index is the shard's position in the job's shard sequence.
+	Index int `json:"index"`
+	// Lo and Hi bound the shard's cell range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Owner is the worker holding the lease; empty while pending.
+	Owner string `json:"owner,omitempty"`
+	// Epoch counts lease acquisitions. A worker's right to transition
+	// its shard is conditioned on the epoch it acquired at, so a worker
+	// whose lease was reclaimed cannot overwrite the reclaimer's state.
+	Epoch int `json:"epoch,omitempty"`
+	// ExpiresUnixMilli is the lease deadline; a shard whose deadline
+	// passed may be re-acquired by any worker. Wall-clock milliseconds,
+	// so processes on one machine (the supported topology: shared store
+	// directory) agree on expiry.
+	ExpiresUnixMilli int64 `json:"expires,omitempty"`
+}
+
+// Partial is the payload of a partial record: one shard's computed
+// scores, or its deterministic failure.
+type Partial struct {
+	// Job is the owning job's ID.
+	Job string `json:"job"`
+	// Index is the shard's position in the job's shard sequence.
+	Index int `json:"index"`
+	// Lo and Hi echo the shard's cell range.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Worker is the worker that computed the shard.
+	Worker string `json:"worker"`
+	// ScoreBits holds math.Float64bits of each cell score in [Lo, Hi),
+	// in cell order — the bit-exact transport that makes the merged
+	// result identical to a single-node run.
+	ScoreBits []uint64 `json:"score_bits,omitempty"`
+	// Error, when non-empty, is the shard's failure message; ScoreBits
+	// is empty. Cell errors are deterministic (a function of spec and
+	// cell), so every recomputation reports the same failure.
+	Error string `json:"error,omitempty"`
+}
+
+// Record ID construction. Grid, shard and partial records share the
+// job store with the manager's "job-..." records; the manager ignores
+// foreign prefixes when restoring, and the coordinator deletes a job's
+// distribution records as the job leaves the running state.
+
+// GridID returns the ID of the job's grid record.
+func GridID(jobID string) string { return "grid-" + jobID }
+
+// ShardID returns the ID of the job's i'th shard record. The index is
+// zero-padded so lexicographic store order equals shard order.
+func ShardID(jobID string, i int) string { return fmt.Sprintf("shard-%s-%05d", jobID, i) }
+
+// PartID returns the ID of the job's i'th partial record.
+func PartID(jobID string, i int) string { return fmt.Sprintf("part-%s-%05d", jobID, i) }
+
+const shardPrefix = "shard-"
+
+// gridRecord wraps a GridJob and its dataset payload into a store record.
+func gridRecord(job GridJob, dataset json.RawMessage) (store.Record, error) {
+	spec, err := json.Marshal(job)
+	if err != nil {
+		return store.Record{}, fmt.Errorf("dist: encoding grid job: %w", err)
+	}
+	return store.Record{ID: GridID(job.ID), Status: "running", Spec: spec, Dataset: dataset}, nil
+}
+
+// decodeGridJob unwraps a grid record.
+func decodeGridJob(rec store.Record) (GridJob, error) {
+	var job GridJob
+	dec := json.NewDecoder(strings.NewReader(string(rec.Spec)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		return GridJob{}, fmt.Errorf("dist: decoding grid record %s: %w", rec.ID, err)
+	}
+	return job, nil
+}
+
+// shardRecord wraps a ShardState into a store record with the given
+// lifecycle status.
+func shardRecord(st ShardState, status string) (store.Record, error) {
+	spec, err := json.Marshal(st)
+	if err != nil {
+		return store.Record{}, fmt.Errorf("dist: encoding shard state: %w", err)
+	}
+	return store.Record{ID: ShardID(st.Job, st.Index), Status: status, Spec: spec}, nil
+}
+
+// decodeShardState unwraps a shard record.
+func decodeShardState(rec store.Record) (ShardState, error) {
+	var st ShardState
+	dec := json.NewDecoder(strings.NewReader(string(rec.Spec)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&st); err != nil {
+		return ShardState{}, fmt.Errorf("dist: decoding shard record %s: %w", rec.ID, err)
+	}
+	return st, nil
+}
+
+// partRecord wraps a Partial into a store record.
+func partRecord(p Partial) (store.Record, error) {
+	res, err := json.Marshal(p)
+	if err != nil {
+		return store.Record{}, fmt.Errorf("dist: encoding partial: %w", err)
+	}
+	return store.Record{ID: PartID(p.Job, p.Index), Status: ShardDone, Result: res}, nil
+}
+
+// decodePartial unwraps a partial record.
+func decodePartial(rec store.Record) (Partial, error) {
+	var p Partial
+	dec := json.NewDecoder(strings.NewReader(string(rec.Result)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Partial{}, fmt.Errorf("dist: decoding partial record %s: %w", rec.ID, err)
+	}
+	return p, nil
+}
+
+// encodeScores converts scores to their IEEE-754 bit patterns.
+func encodeScores(scores []float64) []uint64 {
+	bits := make([]uint64, len(scores))
+	for i, s := range scores {
+		bits[i] = math.Float64bits(s)
+	}
+	return bits
+}
+
+// decodeScores inverts encodeScores.
+func decodeScores(bits []uint64) []float64 {
+	scores := make([]float64, len(bits))
+	for i, b := range bits {
+		scores[i] = math.Float64frombits(b)
+	}
+	return scores
+}

@@ -1,0 +1,418 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cvcp/internal/constraints"
+	"cvcp/internal/cvcp"
+	"cvcp/internal/dataset"
+	"cvcp/internal/stats"
+	"cvcp/internal/store"
+)
+
+// The test topology's job spec is a tiny JSON document ({"seed": N,
+// "fail": bool}); testSelectionSpec expands it deterministically into a
+// full cvcp.Spec, playing the role the server's spec decoding plays in
+// production: any process expanding the same bytes gets the same grid,
+// folds and seeds.
+type testJobSpec struct {
+	Seed int64 `json:"seed"`
+	Fail bool  `json:"fail"`
+}
+
+func testBlobs(seed int64) *dataset.Dataset {
+	r := stats.NewRand(seed)
+	var x [][]float64
+	var y []int
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 15; i++ {
+			x = append(x, []float64{15*float64(c) + r.NormFloat64(), r.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	return dataset.MustNew("blobs", x, y)
+}
+
+// failAlg fails deterministically for one parameter and otherwise
+// delegates to MPCKMeans.
+type failAlg struct{ bad int }
+
+func (f failAlg) Name() string { return "failing" }
+
+func (f failAlg) Cluster(ds *dataset.Dataset, train *constraints.Set, param int, seed int64) ([]int, error) {
+	if param == f.bad {
+		return nil, fmt.Errorf("synthetic failure for param %d", param)
+	}
+	return cvcp.MPCKMeans{}.Cluster(ds, train, param, seed)
+}
+
+func testSelectionSpec(ts testJobSpec) cvcp.Spec {
+	ds := testBlobs(ts.Seed)
+	labeled := ds.SampleLabels(stats.NewRand(ts.Seed+1), 0.4)
+	var alg cvcp.Algorithm = cvcp.MPCKMeans{}
+	if ts.Fail {
+		alg = failAlg{bad: 3}
+	}
+	return cvcp.Spec{
+		Dataset:     ds,
+		Grid:        cvcp.Grid{{Algorithm: alg, Params: []int{2, 3, 4}}},
+		Supervision: cvcp.Labels(labeled),
+		Options:     cvcp.Options{Seed: ts.Seed, NFolds: 5},
+	}
+}
+
+func testResolve(job GridJob, _ json.RawMessage) (*cvcp.CellPlan, error) {
+	var ts testJobSpec
+	if err := json.Unmarshal(job.Spec, &ts); err != nil {
+		return nil, err
+	}
+	return cvcp.PlanCells(testSelectionSpec(ts))
+}
+
+func testGridJob(t *testing.T, ts testJobSpec) (GridJob, *cvcp.CellPlan) {
+	t.Helper()
+	plan, err := cvcp.PlanCells(testSelectionSpec(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return GridJob{ID: "job-000000001", Spec: raw, Cells: plan.NumCells()}, plan
+}
+
+func startWorker(ctx context.Context, wg *sync.WaitGroup, s Store, id string) {
+	w := &Worker{
+		Store:    s,
+		ID:       id,
+		Resolve:  testResolve,
+		Workers:  2,
+		LeaseTTL: 200 * time.Millisecond,
+		Poll:     3 * time.Millisecond,
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.Run(ctx)
+	}()
+}
+
+// equalResults asserts two selection results agree bit-for-bit: every
+// score compared by IEEE-754 bits, every labeling exactly.
+func equalResults(t *testing.T, want, got *cvcp.Result, what string) {
+	t.Helper()
+	if len(want.PerCandidate) != len(got.PerCandidate) {
+		t.Fatalf("%s: %d candidates, want %d", what, len(got.PerCandidate), len(want.PerCandidate))
+	}
+	for ci := range want.PerCandidate {
+		a, b := want.PerCandidate[ci], got.PerCandidate[ci]
+		if a.Algorithm != b.Algorithm || a.Best.Param != b.Best.Param {
+			t.Errorf("%s: candidate %d: (%s, %d) vs (%s, %d)", what, ci, a.Algorithm, a.Best.Param, b.Algorithm, b.Best.Param)
+		}
+		if math.Float64bits(a.Best.Score) != math.Float64bits(b.Best.Score) {
+			t.Errorf("%s: candidate %d best score bits differ", what, ci)
+		}
+		for pi := range a.Scores {
+			if math.Float64bits(a.Scores[pi].Score) != math.Float64bits(b.Scores[pi].Score) {
+				t.Errorf("%s: candidate %d param %d score bits differ", what, ci, pi)
+			}
+			for fi := range a.Scores[pi].FoldScores {
+				if math.Float64bits(a.Scores[pi].FoldScores[fi]) != math.Float64bits(b.Scores[pi].FoldScores[fi]) {
+					t.Errorf("%s: candidate %d cell (%d, %d) fold-score bits differ", what, ci, pi, fi)
+				}
+			}
+		}
+		if !reflect.DeepEqual(a.FinalLabels, b.FinalLabels) {
+			t.Errorf("%s: candidate %d final labels differ", what, ci)
+		}
+	}
+	if math.Float64bits(want.Winner.Best.Score) != math.Float64bits(got.Winner.Best.Score) {
+		t.Errorf("%s: winner score bits differ", what)
+	}
+}
+
+func requireNoDistRecords(t *testing.T, s Store, jobID string) {
+	t.Helper()
+	for _, prefix := range []string{"grid-" + jobID, "shard-" + jobID, "part-" + jobID} {
+		ids, err := idsWithPrefix(s, prefix[:len(prefix)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) > 0 {
+			t.Errorf("%s records left behind: %v", prefix, ids)
+		}
+	}
+}
+
+// TestDistributedMatchesSingleNode is the headline golden test: a
+// coordinator plus N workers over a shared store must produce a result
+// bit-identical to single-node Select — same fold-score bits, same
+// winning parameters, same final labels — for N of 1 and 4, over both
+// the in-memory store and the multi-process shared store.
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	ts := testJobSpec{Seed: 61}
+	want, err := cvcp.Select(context.Background(), testSelectionSpec(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, plan := testGridJob(t, ts)
+
+	stores := []struct {
+		name string
+		open func(t *testing.T) (coord Store, worker func(i int) Store)
+	}{
+		{"memory", func(t *testing.T) (Store, func(int) Store) {
+			m := store.NewMemory()
+			t.Cleanup(func() { m.Close() })
+			return m, func(int) Store { return m }
+		}},
+		{"shared", func(t *testing.T) (Store, func(int) Store) {
+			dir := t.TempDir()
+			cs, err := store.OpenShared(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { cs.Close() })
+			return cs, func(i int) Store {
+				ws, err := store.OpenShared(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { ws.Close() })
+				return ws
+			}
+		}},
+	}
+	for _, sc := range stores {
+		for _, n := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", sc.name, n), func(t *testing.T) {
+				cs, workerStore := sc.open(t)
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				var wg sync.WaitGroup
+				for i := 0; i < n; i++ {
+					startWorker(ctx, &wg, workerStore(i), fmt.Sprintf("w%d", i))
+				}
+
+				var mu sync.Mutex
+				var events []ShardEvent
+				coord := &Coordinator{Store: cs, ShardCells: 4, Poll: 3 * time.Millisecond}
+				scores, err := coord.RunJob(ctx, job, nil, func(ev ShardEvent) {
+					mu.Lock()
+					events = append(events, ev)
+					mu.Unlock()
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := plan.Finalize(context.Background(), scores, 2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalResults(t, want, got, "distributed vs single-node")
+
+				shards := len(planShards(job.Cells, 4))
+				done := 0
+				for _, ev := range events {
+					if ev.Shards != shards {
+						t.Errorf("event reports %d shards, want %d", ev.Shards, shards)
+					}
+					if ev.Status == ShardDone {
+						done++
+						if ev.Done < 1 || ev.Done > shards {
+							t.Errorf("done event with Done=%d", ev.Done)
+						}
+					}
+				}
+				if done != shards {
+					t.Errorf("%d done events, want %d", done, shards)
+				}
+				requireNoDistRecords(t, cs, job.ID)
+				cancel()
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// TestLeaseReclaimAfterWorkerDeath simulates a kill -9: a "worker"
+// acquires a shard's lease and vanishes without heartbeating. A live
+// worker must wait out the lease TTL, reclaim the shard at a higher
+// epoch, recompute it, and the job must still finish bit-identical to
+// single-node.
+func TestLeaseReclaimAfterWorkerDeath(t *testing.T) {
+	ts := testJobSpec{Seed: 62}
+	want, err := cvcp.Select(context.Background(), testSelectionSpec(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, plan := testGridJob(t, ts)
+
+	dir := t.TempDir()
+	cs, err := store.OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type runResult struct {
+		scores []float64
+		err    error
+	}
+	resCh := make(chan runResult, 1)
+	var mu sync.Mutex
+	var events []ShardEvent
+	coord := &Coordinator{Store: cs, ShardCells: 4, Poll: 3 * time.Millisecond}
+	go func() {
+		scores, err := coord.RunJob(ctx, job, nil, func(ev ShardEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		})
+		resCh <- runResult{scores, err}
+	}()
+
+	// Wait for shard 0 to be published, then grab its lease as a worker
+	// that will never heartbeat or finish — the crashed process.
+	deadStore, err := store.OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deadStore.Close()
+	dead := &Worker{Store: deadStore, ID: "dead", LeaseTTL: 150 * time.Millisecond}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, ok := dead.tryAcquire(ShardID(job.ID, 0)); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shard 0 never became acquirable")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	liveStore, err := store.OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer liveStore.Close()
+	var wg sync.WaitGroup
+	startWorker(ctx, &wg, liveStore, "live")
+
+	res := <-resCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	got, err := plan.Finalize(context.Background(), res.scores, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, want, got, "post-reclaim vs single-node")
+
+	// The dead worker's shard must have been completed by the live one.
+	mu.Lock()
+	defer mu.Unlock()
+	reclaimed := false
+	for _, ev := range events {
+		if ev.Shard == 0 && ev.Status == ShardDone && ev.Worker == "live" {
+			reclaimed = true
+		}
+		if ev.Status == ShardDone && ev.Worker == "dead" {
+			t.Errorf("dead worker reported finishing shard %d", ev.Shard)
+		}
+	}
+	if !reclaimed {
+		t.Error("shard 0 was not completed by the live worker after the lease expired")
+	}
+	cancel()
+	wg.Wait()
+}
+
+// TestCoordinatorCancelCleansUp: cancelling the job's context must abort
+// RunJob and leave no distribution records behind, so workers stop
+// finding work and their heartbeats abort in-flight shards.
+func TestCoordinatorCancelCleansUp(t *testing.T) {
+	ts := testJobSpec{Seed: 63}
+	job, _ := testGridJob(t, ts)
+	m := store.NewMemory()
+	defer m.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	coord := &Coordinator{Store: m, ShardCells: 4, Poll: 3 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.RunJob(ctx, job, nil, nil)
+		done <- err
+	}()
+	// Let the shards get published (no workers exist, so nothing
+	// completes), then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok, _ := m.Get(ShardID(job.ID, 0)); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shards never published")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("RunJob returned %v, want context.Canceled", err)
+	}
+	requireNoDistRecords(t, m, job.ID)
+}
+
+// TestShardFailurePropagates: a deterministic cell failure must surface
+// as the job's error, carrying the failing shard's identity, and the
+// lowest-indexed failing shard must win when several fail.
+func TestShardFailurePropagates(t *testing.T) {
+	ts := testJobSpec{Seed: 64, Fail: true}
+	job, _ := testGridJob(t, ts)
+	m := store.NewMemory()
+	defer m.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	startWorker(ctx, &wg, m, "w0")
+
+	coord := &Coordinator{Store: m, ShardCells: 4, Poll: 3 * time.Millisecond}
+	_, err := coord.RunJob(ctx, job, nil, nil)
+	if err == nil {
+		t.Fatal("RunJob succeeded despite failing cells")
+	}
+	if !strings.Contains(err.Error(), "synthetic failure") {
+		t.Errorf("err = %v, want the synthetic cell failure", err)
+	}
+	if !strings.Contains(err.Error(), "shard") {
+		t.Errorf("err = %v, want shard identity in the message", err)
+	}
+	requireNoDistRecords(t, m, job.ID)
+	cancel()
+	wg.Wait()
+}
+
+// TestScoreBitsRoundTrip: the IEEE-754 transport must preserve every
+// bit pattern, including NaN payloads, infinities and signed zeros.
+func TestScoreBitsRoundTrip(t *testing.T) {
+	in := []float64{0, math.Copysign(0, -1), 1.5, -3.25e-300, math.Inf(1), math.Inf(-1), math.NaN(), math.Float64frombits(0x7ff8000000000123)}
+	out := decodeScores(encodeScores(in))
+	for i := range in {
+		if math.Float64bits(in[i]) != math.Float64bits(out[i]) {
+			t.Errorf("score %d: bits %016x -> %016x", i, math.Float64bits(in[i]), math.Float64bits(out[i]))
+		}
+	}
+}

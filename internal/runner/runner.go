@@ -22,6 +22,7 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -228,6 +229,19 @@ func Run(opt Options, tasks []Task) error {
 	// No task failed but the grid is incomplete: the caller's context was
 	// cancelled mid-run.
 	return opt.context().Err()
+}
+
+// RunRange executes the contiguous task subrange [lo, hi) — the shard
+// entry point of the distributed layer. Because a task's seed and output
+// slot derive from its grid position at construction time, never from
+// scheduling, running tasks[lo:hi] here computes bit-identical results
+// to those cells of a full-grid Run; OnProgress reports done/total
+// relative to the subrange.
+func RunRange(opt Options, tasks []Task, lo, hi int) error {
+	if lo < 0 || hi > len(tasks) || lo > hi {
+		return fmt.Errorf("runner: range [%d, %d) outside grid of %d tasks", lo, hi, len(tasks))
+	}
+	return Run(opt, tasks[lo:hi])
 }
 
 // runSerial is the Workers == 1 path: tasks run inline in index order, so a

@@ -42,6 +42,20 @@ func lookupAlgorithm(name string) (algorithmEntry, bool) {
 	return e, ok
 }
 
+// gridHasFOSC reports whether any of the named candidates is the FOSC
+// method — the only registered algorithm with an OPTICS distance matrix,
+// and hence the only one the matrix32 option applies to.
+func gridHasFOSC(names []string) bool {
+	for _, name := range names {
+		if entry, ok := lookupAlgorithm(name); ok {
+			if _, ok := entry.alg.(corecvcp.FOSCOpticsDend); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // algorithmNames returns the registered algorithm names, sorted, for error
 // messages.
 func algorithmNames() []string {

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	corecvcp "cvcp/internal/cvcp"
+	"cvcp/internal/dataset"
+	"cvcp/internal/dist"
+	"cvcp/internal/runner"
+	"cvcp/internal/store"
+)
+
+// distSpec is the grid-record Spec payload a coordinator publishes for a
+// distributed job: the persisted job spec plus the dataset identity.
+// Together with the record's dataset payload (the same datasetRecord the
+// job store persists) it is everything a worker needs to rebuild the
+// job's cell plan bit-identically — both sides decode it through
+// buildSelectionSpec.
+type distSpec struct {
+	Spec        Spec   `json:"spec"`
+	DatasetName string `json:"dataset_name"`
+}
+
+// distPlan reports whether the job can be distributed and returns its
+// cell plan. Only partition-based scorers shard (validity indices score
+// whole-dataset clusterings, not folds); a non-shardable job on a
+// coordinator simply runs locally.
+func distPlan(spec Spec, ds *dataset.Dataset) (*corecvcp.CellPlan, error) {
+	sel, err := buildSelectionSpec(spec, ds)
+	if err != nil {
+		return nil, err
+	}
+	return corecvcp.PlanCells(sel)
+}
+
+// executeDistributed runs one claimed job through the dist coordinator:
+// the grid is sharded into the shared store, workers compute the cells,
+// and the merged per-cell scores finalize through the exact single-node
+// reduction (CellPlan.Finalize), so the result — selection, fold scores
+// and final labels — is bit-identical to Job.execute. Shard transitions
+// publish as "shard" events and feed the job's regular progress counter
+// at shard granularity.
+func (m *Manager) executeDistributed(j *Job, ds dist.Store, plan *corecvcp.CellPlan) {
+	blob, err := json.Marshal(distSpec{Spec: j.spec, DatasetName: j.dsName})
+	if err != nil {
+		j.finish(nil, err)
+		return
+	}
+	job := dist.GridJob{ID: j.id, Spec: blob, Cells: plan.NumCells()}
+
+	cellsDone := 0
+	onShard := func(ev dist.ShardEvent) {
+		j.onShard(ev.Shard, ev.Shards, ev.Status, ev.Worker)
+		if ev.Status == dist.ShardDone || ev.Status == dist.ShardFailed {
+			cellsDone += ev.Hi - ev.Lo
+			j.onProgress(cellsDone, plan.NumCells())
+		}
+	}
+	coord := &dist.Coordinator{Store: ds, ShardCells: m.cfg.ShardCells, Poll: m.cfg.Poll}
+	scores, err := coord.RunJob(j.ctx, job, j.dsBlob, onShard)
+	if err != nil {
+		j.finish(nil, err)
+		return
+	}
+	res, err := plan.Finalize(j.ctx, scores, m.cfg.WorkerBudget, m.limiter)
+	j.finish(res, err)
+}
+
+// runJob dispatches one claimed job: coordinators distribute every job
+// whose store and scorer allow it, everything else (single role, a store
+// without atomic updates, a validity-scored job) computes locally.
+func (m *Manager) runJob(j *Job) {
+	if m.cfg.Role == RoleCoordinator {
+		if ds, ok := m.store.(dist.Store); ok {
+			if plan, err := distPlan(j.spec, j.ds); err == nil {
+				m.executeDistributed(j, ds, plan)
+				return
+			}
+		}
+	}
+	j.execute(m.limiter, m.cfg.WorkerBudget)
+}
+
+// WorkerConfig configures RunWorker, the worker-role counterpart of the
+// Manager.
+type WorkerConfig struct {
+	// Store is the topology's shared store (store.OpenShared on the same
+	// directory the coordinator serves from). It must support atomic
+	// updates; both built-in stores do.
+	Store store.Store
+	// ID names this worker in shard leases and events. It must be unique
+	// in the topology.
+	ID string
+	// Workers bounds the worker's own per-shard grid concurrency;
+	// 0 means one per CPU. Purely machine-local — it never affects
+	// scores.
+	Workers int
+	// LeaseTTL and Poll tune the lease protocol; zero values mean the
+	// dist package defaults (10s, 100ms).
+	LeaseTTL time.Duration
+	Poll     time.Duration
+}
+
+// RunWorker runs the worker role: it leases grid shards from the shared
+// store, computes their cells and writes partial scores back, until ctx
+// is done (which is the only way it returns). The worker rebuilds each
+// job's selection spec from the coordinator's grid record through the
+// same buildSelectionSpec the coordinator used, so both sides plan
+// identical grids over bit-identical datasets.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	ds, ok := cfg.Store.(dist.Store)
+	if !ok {
+		return fmt.Errorf("server: worker store does not support atomic updates")
+	}
+	w := &dist.Worker{
+		Store:    ds,
+		ID:       cfg.ID,
+		Resolve:  resolvePlan,
+		Workers:  cfg.Workers,
+		Limiter:  runner.NewLimiter(workerBudget(cfg.Workers)),
+		LeaseTTL: cfg.LeaseTTL,
+		Poll:     cfg.Poll,
+	}
+	return w.Run(ctx)
+}
+
+func workerBudget(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// resolvePlan is the worker's dist.Worker.Resolve hook: it decodes the
+// coordinator's grid record — job spec and dataset payload — and builds
+// the cell plan. Both decodes are strict: a field mismatch means the
+// coordinator runs a different version of this code, and silently
+// ignoring the difference could split scores across versions.
+func resolvePlan(job dist.GridJob, datasetBlob json.RawMessage) (*corecvcp.CellPlan, error) {
+	var sp distSpec
+	if err := strictUnmarshal(job.Spec, &sp); err != nil {
+		return nil, fmt.Errorf("server: decoding grid spec of %s: %w", job.ID, err)
+	}
+	var dr datasetRecord
+	if err := strictUnmarshal(datasetBlob, &dr); err != nil {
+		return nil, fmt.Errorf("server: decoding dataset of %s: %w", job.ID, err)
+	}
+	// ReadCSV of WriteCSV output is bit-identical (full float64
+	// precision), so the worker scores the exact dataset the coordinator
+	// plans over.
+	ds, err := dataset.ReadCSV(sp.DatasetName, strings.NewReader(dr.CSV), dr.HasLabel)
+	if err != nil {
+		return nil, fmt.Errorf("server: rebuilding dataset of %s: %w", job.ID, err)
+	}
+	return distPlan(sp.Spec, ds)
+}
+
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

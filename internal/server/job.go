@@ -71,6 +71,11 @@ type Spec struct {
 	// BootstrapRounds is the round count when Scorer is "bootstrap";
 	// 0 means the framework default (10).
 	BootstrapRounds int `json:"bootstrap_rounds,omitempty"`
+	// Matrix32 makes the job's FOSC candidates compute their OPTICS
+	// distance matrix in float32 (half the memory, with the library's
+	// documented bit-exactness caveats). Valid only when the grid has a
+	// FOSC candidate; other methods have no distance matrix to shrink.
+	Matrix32 bool `json:"matrix32,omitempty"`
 	// Exactly one of LabelFraction / Constraints is set: LabelFraction > 0
 	// runs Scenario I (labels sampled from the dataset's label column with
 	// the job seed, exactly as cmd/cvcp does), a non-empty Constraints list
@@ -91,13 +96,23 @@ func (s Spec) methods() []string {
 // lifecycle transitions; progress events report grid completion and are
 // monotonically increasing in Done within one run (the engine
 // serializes its progress callbacks; a crash-recovery re-queue restarts
-// the grid, so a replayed stream may carry two runs' progress).
+// the grid, so a replayed stream may carry two runs' progress). Shard
+// events exist only on distributed jobs (coordinator role) and report
+// shard lifecycle transitions: ShardStatus "leased" when a worker
+// acquires (or reclaims) a shard, "done"/"failed" when its partial
+// result lands.
 type Event struct {
 	Seq    int    `json:"seq"`
-	Type   string `json:"type"` // "status" or "progress"
+	Type   string `json:"type"` // "status", "progress" or "shard"
 	Status Status `json:"status,omitempty"`
 	Done   int    `json:"done,omitempty"`
 	Total  int    `json:"total,omitempty"`
+	// Shard fields, set only on "shard" events: the shard index and the
+	// job's shard count, the transition, and the worker involved.
+	Shard       int    `json:"shard,omitempty"`
+	Shards      int    `json:"shards,omitempty"`
+	ShardStatus string `json:"shard_status,omitempty"`
+	Worker      string `json:"worker,omitempty"`
 }
 
 // subscriberBuffer is the channel capacity of one SSE subscriber. A
@@ -513,64 +528,95 @@ func (j *Job) finish(res *corecvcp.Result, err error) {
 	j.cancel()
 }
 
+// onShard publishes a distributed job's shard transition as a "shard"
+// event. Shard events bypass progress coalescing — a job has at most a
+// few hundred shards (each spanning many grid cells), so the volume is
+// inherently bounded.
+func (j *Job) onShard(shard, shards int, shardStatus, worker string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusRunning {
+		return
+	}
+	j.publishLocked(Event{Type: "shard", Shard: shard, Shards: shards,
+		ShardStatus: shardStatus, Worker: worker})
+}
+
 // execute runs the selection. The caller (a Manager executor) has already
 // claimed the running state. workers bounds this job's own grid
 // concurrency; limiter is the server-wide budget shared across jobs.
 func (j *Job) execute(limiter *runner.Limiter, workers int) {
-	spec, err := j.selectionSpec()
+	spec, err := buildSelectionSpec(j.spec, j.ds)
 	if err != nil {
 		// Validated at submission; only a racing re-registration can
 		// invalidate it.
 		j.finish(nil, err)
 		return
 	}
-	spec.Options = corecvcp.Options{
-		NFolds:   j.spec.NFolds,
-		Seed:     j.spec.Seed,
-		Workers:  workers,
-		Progress: j.onProgress,
-		Limiter:  limiter,
-	}
+	spec.Options.Workers = workers
+	spec.Options.Progress = j.onProgress
+	spec.Options.Limiter = limiter
 	res, err := corecvcp.Select(j.ctx, spec)
 	j.finish(res, err)
 }
 
-// selectionSpec maps the persisted job spec onto the library's unified
+// buildSelectionSpec maps a persisted job spec onto the library's unified
 // selection Spec: the algorithm list becomes the Grid (per-candidate
 // registry defaults fill empty parameter ranges), the supervision fields
 // become a Supervision, and the scorer name resolves to a Scorer strategy.
 // Batch members go through exactly the same mapping.
-func (j *Job) selectionSpec() (corecvcp.Spec, error) {
-	grid := make(corecvcp.Grid, 0, len(j.spec.methods()))
-	for _, name := range j.spec.methods() {
+//
+// Everything score-determining lives here — including Options.NFolds and
+// Options.Seed, which fix the fold split. Distributed execution depends on
+// that: a coordinator and every worker each call buildSelectionSpec on the
+// same persisted spec and dataset and must end up with plans that score
+// every grid cell bit-identically. Machine-local knobs (Workers, Progress,
+// Limiter) are layered on by the caller afterwards; they never affect
+// scores.
+func buildSelectionSpec(spec Spec, ds *dataset.Dataset) (corecvcp.Spec, error) {
+	grid := make(corecvcp.Grid, 0, len(spec.methods()))
+	for _, name := range spec.methods() {
 		entry, ok := lookupAlgorithm(name)
 		if !ok {
 			return corecvcp.Spec{}, errUnknownAlgorithm(name)
 		}
-		params := j.spec.Params
+		alg := entry.alg
+		if spec.Matrix32 {
+			if fo, ok := alg.(corecvcp.FOSCOpticsDend); ok {
+				fo.Matrix32 = true
+				alg = fo
+			}
+		}
+		params := spec.Params
 		if len(params) == 0 {
 			params = entry.defaultParams
 		}
-		grid = append(grid, corecvcp.Candidate{Algorithm: entry.alg, Params: params})
+		grid = append(grid, corecvcp.Candidate{Algorithm: alg, Params: params})
 	}
 	var sup corecvcp.Supervision
-	if len(j.spec.Constraints) > 0 {
+	if len(spec.Constraints) > 0 {
 		cons := constraints.NewSet()
-		for _, c := range j.spec.Constraints {
+		for _, c := range spec.Constraints {
 			cons.Add(c.A, c.B, c.MustLink)
 		}
 		sup = corecvcp.ConstraintSet(cons)
 	} else {
 		// Scenario I: sample the labeled objects exactly as cmd/cvcp does,
 		// so a job replays identically to the CLI with the same seed.
-		r := stats.NewRand(j.spec.Seed)
-		sup = corecvcp.Labels(j.ds.SampleLabels(r, j.spec.LabelFraction))
+		r := stats.NewRand(spec.Seed)
+		sup = corecvcp.Labels(ds.SampleLabels(r, spec.LabelFraction))
 	}
-	scorer, err := resolveScorer(j.spec.Scorer, j.spec.BootstrapRounds)
+	scorer, err := resolveScorer(spec.Scorer, spec.BootstrapRounds)
 	if err != nil {
 		return corecvcp.Spec{}, err
 	}
-	return corecvcp.Spec{Dataset: j.ds, Grid: grid, Supervision: sup, Scorer: scorer}, nil
+	return corecvcp.Spec{
+		Dataset:     ds,
+		Grid:        grid,
+		Supervision: sup,
+		Scorer:      scorer,
+		Options:     corecvcp.Options{NFolds: spec.NFolds, Seed: spec.Seed},
+	}, nil
 }
 
 // ScoreView is one candidate's cross-validated score in a job result.
@@ -656,6 +702,7 @@ type JobView struct {
 	Algorithm  string      `json:"algorithm,omitempty"`
 	Algorithms []string    `json:"algorithms,omitempty"`
 	Scorer     string      `json:"scorer,omitempty"`
+	Matrix32   bool        `json:"matrix32,omitempty"`
 	Dataset    string      `json:"dataset"`
 	Objects    int         `json:"objects"`
 	Params     []int       `json:"params"`
@@ -681,6 +728,7 @@ func (j *Job) View() JobView {
 		Algorithm:  j.spec.Algorithm,
 		Algorithms: j.spec.Algorithms,
 		Scorer:     j.spec.Scorer,
+		Matrix32:   j.spec.Matrix32,
 		Dataset:    j.dsName,
 		Objects:    j.objects,
 		Params:     j.spec.Params,

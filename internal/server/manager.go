@@ -243,7 +243,7 @@ func (m *Manager) executor() {
 
 		if j.claimRun() {
 			m.persist(j) // running
-			j.execute(m.limiter, m.cfg.WorkerBudget)
+			m.runJob(j)
 		}
 		// Whether the job ran or was cancelled in the instant between the
 		// pop and the claim, it is terminal now: persist the final state

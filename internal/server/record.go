@@ -207,6 +207,7 @@ func viewFromRecord(rec store.Record) JobView {
 		Algorithm:  sr.Spec.Algorithm,
 		Algorithms: sr.Spec.Algorithms,
 		Scorer:     sr.Spec.Scorer,
+		Matrix32:   sr.Spec.Matrix32,
 		Dataset:    sr.DatasetName,
 		Objects:    sr.Objects,
 		Params:     sr.Spec.Params,

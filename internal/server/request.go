@@ -38,6 +38,7 @@ type jobRequest struct {
 	ParamMax        int              `json:"param_max"`
 	Folds           int              `json:"folds"`
 	Seed            int64            `json:"seed"`
+	Matrix32        bool             `json:"matrix32"`
 	LabelFraction   float64          `json:"label_fraction"`
 	Constraints     []constraintJSON `json:"constraints"`
 }
@@ -122,6 +123,7 @@ func specFromRequest(req jobRequest) (Spec, *apiError) {
 		Params:          req.Params,
 		NFolds:          req.Folds,
 		Seed:            req.Seed,
+		Matrix32:        req.Matrix32,
 		LabelFraction:   req.LabelFraction,
 	}
 	if len(spec.Params) == 0 && (req.ParamMin != 0 || req.ParamMax != 0) {
@@ -227,6 +229,13 @@ func parseOptions(get func(string) string) (spec Spec, hasLabel bool, name strin
 		hasLabel = true
 	default:
 		return Spec{}, false, "", badRequest("invalid_request", "option %q: want a boolean", "has_label")
+	}
+	switch strings.ToLower(get("matrix32")) {
+	case "", "0", "false", "no":
+	case "1", "true", "yes":
+		spec.Matrix32 = true
+	default:
+		return Spec{}, false, "", badRequest("invalid_request", "option %q: want a boolean", "matrix32")
 	}
 	if s := get("params"); s != "" {
 		for _, part := range strings.Split(s, ",") {
@@ -393,6 +402,11 @@ func finishSpec(spec Spec, ds *dataset.Dataset) (Spec, *dataset.Dataset, *apiErr
 		if p < 1 {
 			return Spec{}, nil, badRequest("invalid_request", "candidate parameter %d: must be >= 1", p)
 		}
+	}
+	if spec.Matrix32 && !gridHasFOSC(spec.methods()) {
+		// Only FOSC carries an OPTICS distance matrix; accepting matrix32
+		// on a grid without one would silently do nothing.
+		return Spec{}, nil, badRequest("invalid_request", "matrix32 requires a fosc candidate in the grid")
 	}
 	if spec.NFolds < 0 {
 		return Spec{}, nil, badRequest("invalid_request", "folds must be >= 0 (0 means the default)")

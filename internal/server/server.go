@@ -47,8 +47,29 @@ package server
 
 import (
 	"runtime"
+	"time"
 
 	"cvcp/internal/store"
+)
+
+// Role selects how a cvcpd process participates in a topology. A single
+// process (the default) computes its own jobs. A coordinator accepts and
+// manages jobs but distributes their grids as shard records through the
+// shared store; workers lease shards from the same store and compute
+// them. Deterministic per-cell seeding makes every topology — including
+// one whose workers crash mid-shard and have their leases reclaimed —
+// produce selections bit-identical to a single process.
+type Role string
+
+const (
+	// RoleSingle computes jobs in-process (no distribution).
+	RoleSingle Role = "single"
+	// RoleCoordinator serves the API and shards job grids into the
+	// shared store for workers; it never computes cells itself.
+	RoleCoordinator Role = "coordinator"
+	// RoleWorker leases and computes shards from the shared store; it
+	// serves no API (see RunWorker).
+	RoleWorker Role = "worker"
 )
 
 // Config sizes the Manager.
@@ -75,6 +96,23 @@ type Config struct {
 	// store (no durability). The manager never closes the store; its
 	// owner does, after Shutdown.
 	Store store.Store
+	// Role selects single-process or coordinator operation ("" means
+	// RoleSingle). A coordinator requires a Store that supports atomic
+	// updates (store.Updater — both built-in stores do); jobs whose
+	// scorer cannot be sharded (validity indices) fall back to local
+	// execution even on a coordinator.
+	Role Role
+	// ShardCells is the coordinator's target grid cells per shard;
+	// 0 means 16.
+	ShardCells int
+	// LeaseTTL is how long a worker's shard lease lives without a
+	// heartbeat renewal before another worker may reclaim it; 0 means
+	// 10s. Coordinator and workers should agree, but correctness never
+	// depends on it — only reclaim latency does.
+	LeaseTTL time.Duration
+	// Poll is the coordinator's shard-watch interval (and the worker's
+	// idle scan interval in RunWorker); 0 means 100ms.
+	Poll time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +133,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Store == nil {
 		c.Store = store.NewMemory()
+	}
+	if c.Role == "" {
+		c.Role = RoleSingle
 	}
 	return c
 }

@@ -55,7 +55,7 @@ type snapshot struct {
 }
 
 // File is the durable Store: every Put/Delete/AppendEvents is appended
-// to a JSONL write-ahead log, and the full state (records plus event
+// to a write-ahead log of framed JSON lines (see framing.go), and the full state (records plus event
 // logs) is periodically compacted into a snapshot so the log stays
 // short. Opening a directory loads the snapshot, replays the log on top
 // of it — tolerating a torn final line from a crash mid-append — and
@@ -173,8 +173,8 @@ func (f *File) loadSnapshot() error {
 // returns the entry count and the byte length of the valid prefix. A
 // malformed final line is tolerated (a crash mid-append leaves one) and
 // excluded from the valid length so Open can trim it. A malformed line
-// with entries after it is tolerated only when everything after it is
-// event appends: event entries are the only unsynced writes (their
+// with entries after it is tolerated only when nothing after it is a
+// record entry: event entries are the only unsynced writes (their
 // fsyncs coalesce), so a crash can garble any part of the
 // since-last-sync suffix — which by construction contains no record
 // entries — and losing that suffix is within the event-durability
@@ -203,14 +203,12 @@ func (f *File) replayWAL() (entries int, validLen int64, err error) {
 			continue
 		}
 		var e walEntry
-		if err := json.Unmarshal(line, &e); err != nil {
-			// Scan from the corrupt line itself, not after it: the
-			// damaged line may have BEEN a record entry (its "put"/"del"
-			// key surviving as raw bytes), and dropping it would lose an
-			// fsynced record. A torn-but-unacknowledged record line is
-			// always the final line (Put holds the mutex through its
-			// fsync), which the next == len(data) case tolerates.
-			if next < len(data) && !eventsOnlyTail(data[off:]) {
+		if err := unmarshalWALLine(line, &e); err != nil {
+			// Scan from the corrupt line itself: a torn final line is
+			// always tolerated (Put holds the mutex through its fsync, so
+			// a torn record write is unacknowledged), and interior damage
+			// is tolerated only when no intact record entry follows it.
+			if next < len(data) && recordEntryIn(data[off:]) {
 				return 0, 0, fmt.Errorf("store: corrupt WAL entry %d: %w", entries+1, err)
 			}
 			return entries, int64(off), nil // torn tail (possibly spanning coalesced event appends): drop it
@@ -229,18 +227,61 @@ func (f *File) replayWAL() (entries int, validLen int64, err error) {
 	return entries, int64(off), nil
 }
 
-// eventsOnlyTail reports whether no WAL line in data carries (or might
+// unmarshalWALLine decodes one WAL line into e. Framed lines (see
+// framing.go) are CRC-checked and their payload parsed; unframed lines
+// are parsed as bare JSON — the v1 migration path, so logs written by
+// pre-framing builds replay unchanged.
+func unmarshalWALLine(line []byte, e *walEntry) error {
+	if line[0] == frameMark {
+		payload, ok := decodeFrame(line)
+		if !ok {
+			return fmt.Errorf("store: damaged WAL frame")
+		}
+		return json.Unmarshal(payload, e)
+	}
+	return json.Unmarshal(line, e)
+}
+
+// recordEntryIn reports whether any WAL line in data carries (or might
 // carry) a record entry — the check that lets replayWAL treat crash
 // damage among coalesced event appends as a recoverable torn tail
-// rather than fatal interior corruption. The test is a raw substring
-// scan, NOT a parse: corruption may have garbled a record line beyond
-// parsing, and a parse-based check would then skip it and silently
-// truncate an acknowledged record. A raw scan still recognizes the
-// "put"/"del" keys in a partially damaged line and errs toward refusing
-// — the conservative failure (Open fails loudly) over the silent one
-// (an fsynced record vanishes).
-func eventsOnlyTail(data []byte) bool {
-	return !bytes.Contains(data, []byte(`"put":`)) && !bytes.Contains(data, []byte(`"del":`))
+// rather than fatal interior corruption. Framed lines are classified
+// structurally: an intact frame is a record entry iff its payload
+// decodes to a put/delete, and a damaged frame is not one (a torn
+// record frame was never acknowledged — Put syncs before returning —
+// so under the crash model a damaged frame can only be a coalesced
+// event append). Unframed lines (v1 logs, or damage that ate the frame
+// mark) keep the conservative v1 heuristic: a raw scan for the
+// "put"/"del" keys, which still recognizes them in a line garbled
+// beyond parsing and errs toward refusing — the loud failure (Open
+// errors) over the silent one (an fsynced record vanishes).
+func recordEntryIn(data []byte) bool {
+	for len(data) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			line, data = data[:nl], data[nl+1:]
+		} else {
+			line, data = data, nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if line[0] == frameMark {
+			payload, ok := decodeFrame(line)
+			if !ok {
+				continue // damaged frame: events-only under the crash model
+			}
+			var e walEntry
+			if json.Unmarshal(payload, &e) == nil && (e.Put != nil || e.Delete != "") {
+				return true
+			}
+			continue
+		}
+		if bytes.Contains(line, []byte(`"put":`)) || bytes.Contains(line, []byte(`"del":`)) {
+			return true
+		}
+	}
+	return false
 }
 
 // append writes one WAL entry, syncing it to disk when sync is true and
@@ -252,11 +293,11 @@ func eventsOnlyTail(data []byte) bool {
 // that it never happened. Coalesced syncs (flushEvents) never truncate:
 // their entries were already reported as appended.
 func (f *File) append(e walEntry, sync bool) error {
-	data, err := json.Marshal(e)
+	payload, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("store: encoding WAL entry: %w", err)
 	}
-	data = append(data, '\n')
+	data := encodeFrame(payload)
 	if _, err := f.wal.Write(data); err != nil {
 		_ = f.wal.Truncate(f.walSize)
 		return fmt.Errorf("store: appending WAL entry: %w", err)
@@ -536,6 +577,46 @@ func (f *File) Put(rec Record) error {
 	return nil
 }
 
+// Update applies an atomic read-modify-write to the record under id
+// (see Updater). The write, if any, is durable before Update returns,
+// like Put's.
+func (f *File) Update(id string, fn func(cur Record, ok bool) (Record, bool, error)) (Record, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return Record{}, ErrClosed
+	}
+	cur, ok := f.tab.recs[id]
+	if ok {
+		cur = cur.Clone()
+	}
+	out, write, err := fn(cur, ok)
+	if err != nil {
+		f.mu.Unlock()
+		return Record{}, err
+	}
+	if !write {
+		f.mu.Unlock()
+		return out, nil
+	}
+	if out.ID != id {
+		f.mu.Unlock()
+		return Record{}, fmt.Errorf("store: update of %q returned record %q", id, out.ID)
+	}
+	out = out.Clone()
+	if err := f.append(walEntry{Put: &out}, true); err != nil {
+		f.mu.Unlock()
+		return Record{}, err
+	}
+	f.tab.put(out)
+	want := f.wantCompactLocked()
+	f.mu.Unlock()
+	if want {
+		_ = f.compact() // durable already; see Put
+	}
+	return out.Clone(), nil
+}
+
 // Get returns the record under id and whether it exists.
 func (f *File) Get(id string) (Record, bool, error) {
 	f.mu.Lock()
@@ -593,9 +674,6 @@ func (f *File) Delete(id string) error {
 func (f *File) AppendEvents(id string, events []Event) error {
 	if len(events) == 0 {
 		return nil
-	}
-	if err := validateEventData(events); err != nil {
-		return err
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()

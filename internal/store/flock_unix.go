@@ -1,0 +1,20 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockEx takes an exclusive advisory lock on f, blocking until it is
+// granted. flockUn releases it. The lock is per-open-file-description,
+// so two handles in one process exclude each other just like two
+// processes do.
+func flockEx(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+func flockUn(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -128,6 +129,32 @@ func (m *Memory) Put(rec Record) error {
 	return nil
 }
 
+// Update applies an atomic read-modify-write to the record under id
+// (see Updater).
+func (m *Memory) Update(id string, fn func(cur Record, ok bool) (Record, bool, error)) (Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Record{}, ErrClosed
+	}
+	cur, ok := m.tab.recs[id]
+	if ok {
+		cur = cur.Clone()
+	}
+	out, write, err := fn(cur, ok)
+	if err != nil {
+		return Record{}, err
+	}
+	if !write {
+		return out, nil
+	}
+	if out.ID != id {
+		return Record{}, fmt.Errorf("store: update of %q returned record %q", id, out.ID)
+	}
+	m.tab.put(out.Clone())
+	return out, nil
+}
+
 // Get returns the record under id and whether it exists.
 func (m *Memory) Get(id string) (Record, bool, error) {
 	m.mu.Lock()
@@ -169,9 +196,6 @@ func (m *Memory) Delete(id string) error {
 func (m *Memory) AppendEvents(id string, events []Event) error {
 	if len(events) == 0 {
 		return nil
-	}
-	if err := validateEventData(events); err != nil {
-		return err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

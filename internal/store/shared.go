@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	sharedWALName  = "shared.wal.jsonl"
+	sharedLockName = "shared.lock"
+)
+
+// Shared is the multi-process Store: several processes (a distributed
+// coordinator and its workers, see internal/dist) open the same
+// directory and observe each other's writes. The design is a single
+// append-only log of framed WAL lines (the same walEntry format and
+// framing as File) plus an flock-guarded critical section: every
+// operation takes the exclusive lock, replays any log suffix appended
+// by other processes since its last look ("refresh"), performs its
+// read or append, fsyncs, and releases the lock. Because writers sync
+// before unlocking, a process that acquires the lock sees every
+// acknowledged write that preceded it — the cross-process
+// read-your-writes guarantee Update's compare-and-swap relies on.
+//
+// Crash tolerance: a process killed mid-append leaves an unterminated
+// partial line at the log's end. Readers never consume past it, and
+// the next writer terminates it with a newline before appending; the
+// garbage line then fails its frame CRC and is skipped by every
+// replay. Only an unacknowledged write can be lost this way. A process
+// crash never strands the lock — the OS releases flock with the file
+// descriptor.
+//
+// Unlike File, Shared does not compact: it is built for the bounded
+// coordination state of a running topology (job, shard-lease and
+// partial-score records, which the coordinator deletes as jobs
+// finish), not for long-lived archives. Deleted state stops occupying
+// memory but its log lines remain until the directory is recycled.
+type Shared struct {
+	dir string
+
+	mu     sync.Mutex
+	tab    *table
+	wal    *os.File // O_APPEND handle; also used for ReadAt refreshes
+	lock   *os.File
+	off    int64 // bytes of the log this handle has applied
+	closed bool
+}
+
+// OpenShared opens (or initializes) a shared store in dir, creating the
+// directory if needed. Every process of a topology opens the same dir.
+func OpenShared(dir string) (*Shared, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, sharedLockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening shared lock: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, sharedWALName), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: opening shared WAL: %w", err)
+	}
+	s := &Shared{dir: dir, tab: newTable(), wal: wal, lock: lock}
+	// Initial refresh, so Open surfaces an unreadable or corrupt log
+	// immediately rather than on first use.
+	if err := flockEx(lock); err != nil {
+		s.closeFiles()
+		return nil, fmt.Errorf("store: locking shared store: %w", err)
+	}
+	rerr := s.refreshLocked()
+	if uerr := flockUn(lock); rerr == nil {
+		rerr = uerr
+	}
+	if rerr != nil {
+		s.closeFiles()
+		return nil, rerr
+	}
+	return s, nil
+}
+
+func (s *Shared) closeFiles() {
+	s.wal.Close()
+	s.lock.Close()
+}
+
+// withLock runs fn inside the cross-process critical section, after
+// refreshing this handle's view of the log.
+func (s *Shared) withLock(fn func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := flockEx(s.lock); err != nil {
+		return fmt.Errorf("store: locking shared store: %w", err)
+	}
+	err := s.refreshLocked()
+	if err == nil {
+		err = fn()
+	}
+	if uerr := flockUn(s.lock); err == nil && uerr != nil {
+		err = fmt.Errorf("store: unlocking shared store: %w", uerr)
+	}
+	return err
+}
+
+// refreshLocked applies every complete log line appended since this
+// handle last looked. Lines failing their frame check are skipped (a
+// crashed writer's newline-terminated garbage); an unterminated final
+// partial line is left unconsumed for a writer to terminate. Callers
+// hold mu and the flock.
+func (s *Shared) refreshLocked() error {
+	st, err := s.wal.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stating shared WAL: %w", err)
+	}
+	size := st.Size()
+	if size <= s.off {
+		return nil
+	}
+	data := make([]byte, size-s.off)
+	if _, err := s.wal.ReadAt(data, s.off); err != nil {
+		return fmt.Errorf("store: reading shared WAL: %w", err)
+	}
+	consumed := 0
+	for {
+		nl := bytes.IndexByte(data[consumed:], '\n')
+		if nl < 0 {
+			break // unterminated tail: not ours to consume
+		}
+		line := data[consumed : consumed+nl]
+		consumed += nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e walEntry
+		if err := unmarshalWALLine(line, &e); err != nil {
+			continue // terminated torn write of a crashed process: never acknowledged
+		}
+		switch {
+		case e.Put != nil:
+			s.tab.put(*e.Put)
+		case e.Delete != "":
+			s.tab.delete(e.Delete)
+		case e.Events != nil:
+			s.tab.appendEvents(e.Events.ID, e.Events.Events)
+		}
+	}
+	s.off += int64(consumed)
+	return nil
+}
+
+// appendLocked durably appends one entry and applies it (via a second
+// refresh, the single apply path). Callers hold mu and the flock, with
+// the refresh already done — so any remaining unconsumed bytes are a
+// crashed writer's unterminated tail, which is newline-terminated here
+// so it can never fuse with the new entry's line.
+func (s *Shared) appendLocked(e walEntry) error {
+	st, err := s.wal.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stating shared WAL: %w", err)
+	}
+	if st.Size() > s.off {
+		if _, err := s.wal.Write([]byte{'\n'}); err != nil {
+			return fmt.Errorf("store: terminating torn shared WAL tail: %w", err)
+		}
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encoding WAL entry: %w", err)
+	}
+	if _, err := s.wal.Write(encodeFrame(payload)); err != nil {
+		return fmt.Errorf("store: appending shared WAL entry: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: syncing shared WAL: %w", err)
+	}
+	return s.refreshLocked()
+}
+
+// Put inserts or overwrites rec under rec.ID, durably.
+func (s *Shared) Put(rec Record) error {
+	rec = rec.Clone()
+	return s.withLock(func() error {
+		return s.appendLocked(walEntry{Put: &rec})
+	})
+}
+
+// Update applies an atomic read-modify-write to the record under id
+// (see Updater). The critical section spans processes, making this the
+// topology-wide compare-and-swap.
+func (s *Shared) Update(id string, fn func(cur Record, ok bool) (Record, bool, error)) (Record, error) {
+	var out Record
+	err := s.withLock(func() error {
+		cur, ok := s.tab.recs[id]
+		if ok {
+			cur = cur.Clone()
+		}
+		res, write, err := fn(cur, ok)
+		if err != nil {
+			return err
+		}
+		out = res
+		if !write {
+			return nil
+		}
+		if res.ID != id {
+			return fmt.Errorf("store: update of %q returned record %q", id, res.ID)
+		}
+		res = res.Clone()
+		return s.appendLocked(walEntry{Put: &res})
+	})
+	if err != nil {
+		return Record{}, err
+	}
+	return out, nil
+}
+
+// Get returns the record under id and whether it exists.
+func (s *Shared) Get(id string) (Record, bool, error) {
+	var rec Record
+	var ok bool
+	err := s.withLock(func() error {
+		var cur Record
+		if cur, ok = s.tab.recs[id]; ok {
+			rec = cur.Clone()
+		}
+		return nil
+	})
+	return rec, ok, err
+}
+
+// List pages through the records in ascending ID order.
+func (s *Shared) List(cursor string, limit int) ([]Record, string, error) {
+	var recs []Record
+	var next string
+	err := s.withLock(func() error {
+		recs, next = s.tab.list(cursor, limit)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return recs, next, nil
+}
+
+// Delete removes the record under id (and the job's event log), durably.
+func (s *Shared) Delete(id string) error {
+	return s.withLock(func() error {
+		_, haveRec := s.tab.recs[id]
+		_, haveEvs := s.tab.events[id]
+		if !haveRec && !haveEvs {
+			return nil
+		}
+		return s.appendLocked(walEntry{Delete: id})
+	})
+}
+
+// AppendEvents appends the batch to the job's event log, durably.
+// Unlike File, appends sync inline: the shared store's writes are
+// coordination traffic (coalesced upstream), not the single-node
+// progress hot path.
+func (s *Shared) AppendEvents(id string, events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	evs := cloneEvents(events)
+	return s.withLock(func() error {
+		return s.appendLocked(walEntry{Events: &walEvents{ID: id, Events: evs}})
+	})
+}
+
+// EventsSince returns the job's events with Seq > afterSeq, in order.
+func (s *Shared) EventsSince(id string, afterSeq int) ([]Event, error) {
+	var evs []Event
+	err := s.withLock(func() error {
+		evs = s.tab.eventsSince(id, afterSeq)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+// Len reports how many records are resident.
+func (s *Shared) Len() (int, error) {
+	n := 0
+	err := s.withLock(func() error {
+		n = len(s.tab.recs)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Close releases this handle. The shared log is left as-is for the
+// other processes of the topology.
+func (s *Shared) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.wal.Close()
+	if cerr := s.lock.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -31,7 +31,6 @@
 package store
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"time"
@@ -39,21 +38,6 @@ import (
 
 // ErrClosed is returned by every operation on a closed store.
 var ErrClosed = errors.New("store: closed")
-
-// ErrEventData rejects an event payload that would collide with the WAL
-// damage heuristic (see the Event doc).
-var ErrEventData = errors.New(`store: event payload must not contain the byte sequences "put": or "del":`)
-
-// validateEventData enforces the Event.Data constraint for AppendEvents
-// implementations.
-func validateEventData(events []Event) error {
-	for _, e := range events {
-		if bytes.Contains(e.Data, []byte(`"put":`)) || bytes.Contains(e.Data, []byte(`"del":`)) {
-			return ErrEventData
-		}
-	}
-	return nil
-}
 
 // Record is one persisted job. Spec, Dataset and Result are opaque to the
 // store: the server serializes whatever it needs to rebuild a job into
@@ -111,17 +95,10 @@ func (r Record) cloneForList() Record {
 // serialized event supplied by the caller (the server stores its SSE
 // event JSON); Seq is the monotonically increasing per-job sequence
 // number that scan-since-seq reads and Last-Event-ID resume key on.
-//
-// One constraint on Data's opacity: the payload bytes must not contain
-// the literal sequences `"put":` or `"del":`. The file store's
-// crash-recovery heuristic scans damaged WAL regions for those raw
-// record-entry keys (a garbled record line must refuse loudly, not
-// truncate silently), so a payload carrying them would turn a
-// recoverable torn event tail into a fatal Open error. AppendEvents
-// enforces this with ErrEventData rather than leaving it a latent trap.
-// The server's event JSON ({seq,type,status,done,total}) never carries
-// them — note JSON string values escape their quotes, so only a payload
-// with a literal "put"/"del" object key can collide.
+// Data is fully opaque: the file store's WAL frames every line with a
+// length and CRC (see framing.go), so crash recovery classifies damage
+// from frame structure, never from payload bytes — a payload may carry
+// any byte sequence, including ones that look like record-entry keys.
 type Event struct {
 	Seq  int             `json:"seq"`
 	Data json.RawMessage `json:"data"`
@@ -158,6 +135,21 @@ type EventLog interface {
 	// append order. A job with no log yields an empty slice, not an
 	// error; afterSeq 0 scans the whole log.
 	EventsSince(id string, afterSeq int) ([]Event, error)
+}
+
+// An Updater is a Store that can apply an atomic read-modify-write to a
+// single record — the compare-and-swap primitive shard leases in
+// internal/dist are built on. fn receives a copy of the current record
+// (and whether one exists) and decides the outcome: write=true installs
+// the returned record (whose ID must equal id), write=false leaves the
+// store untouched, and a non-nil error aborts without writing and is
+// returned verbatim. No concurrent Put, Delete or Update of the same
+// store interleaves with the read-modify-write; for Shared, the
+// guarantee holds across processes. Update returns the record as of the
+// call's completion. All three implementations (Memory, File, Shared)
+// are Updaters.
+type Updater interface {
+	Update(id string, fn func(cur Record, ok bool) (Record, bool, error)) (Record, error)
 }
 
 // Store persists job records and their event logs. Implementations must
