@@ -30,6 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,6 +53,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", -1, "concurrent grid tasks (-1 = one per CPU, 1 = serial; results are identical either way)")
 		matrix32 = flag.Bool("matrix32", false, "store the FOSC OPTICS distance matrix in float32 (half the memory; requires fosc in -algo)")
+		eps      = flag.Float64("eps", 0, "finite OPTICS generating distance for fosc: compute neighborhoods within this radius on demand instead of the dense matrix (0 = dense)")
 		progress = flag.Bool("progress", false, "report grid progress on stderr")
 		quiet    = flag.Bool("quiet", false, "suppress the per-object assignment output")
 	)
@@ -90,7 +92,7 @@ func main() {
 		seen[name] = true
 		switch name {
 		case "fosc":
-			grid = append(grid, root.Candidate{Algorithm: root.FOSCOpticsDend{Matrix32: *matrix32}, Params: root.DefaultMinPtsRange})
+			grid = append(grid, root.Candidate{Algorithm: root.FOSCOpticsDend{Matrix32: *matrix32, Eps: *eps}, Params: root.DefaultMinPtsRange})
 		case "mpck":
 			grid = append(grid, root.Candidate{Algorithm: root.MPCKMeans{}, Params: root.KRange(*kmin, *kmax)})
 		case "copk":
@@ -101,6 +103,14 @@ func main() {
 	}
 	if *matrix32 && !seen["fosc"] {
 		fatal(fmt.Errorf("-matrix32 applies only to the fosc method (add fosc to -algo)"))
+	}
+	switch {
+	case *eps < 0 || math.IsNaN(*eps):
+		fatal(fmt.Errorf("-eps %v: want a positive radius", *eps))
+	case *eps > 0 && !seen["fosc"]:
+		fatal(fmt.Errorf("-eps applies only to the fosc method (add fosc to -algo)"))
+	case *eps > 0 && *matrix32:
+		fatal(fmt.Errorf("-eps and -matrix32 are mutually exclusive (the ε-range driver computes distances on demand, not from a matrix)"))
 	}
 
 	var sup root.Supervision

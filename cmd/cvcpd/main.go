@@ -51,11 +51,13 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cvcp/internal/metrics"
 	"cvcp/internal/server"
 	"cvcp/internal/store"
 )
@@ -78,6 +80,9 @@ func main() {
 		shardCells   = flag.Int("shard-cells", 0, "coordinator: target grid cells per shard (0 = 16)")
 		leaseTTL     = flag.Duration("lease-ttl", 0, "shard lease lifetime without heartbeat before reclaim (0 = 10s)")
 		poll         = flag.Duration("poll", 0, "shard watch/scan interval (0 = 100ms)")
+		metricsOn    = flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics on the API listener")
+		pprofAddr    = flag.String("pprof-addr", "", "auxiliary listen address serving /debug/pprof/ and /metrics, every role including workers (empty = off)")
+		apiKeys      = flag.String("api-keys", "", "API key file enabling tenant auth and weighted fair queueing (lines: <key> <tenant> [weight [max_queued]]; empty = open API)")
 	)
 	flag.Parse()
 
@@ -90,7 +95,22 @@ func main() {
 		ShardCells:     *shardCells,
 		LeaseTTL:       *leaseTTL,
 		Poll:           *poll,
+		DisableMetrics: !*metricsOn,
 	}
+	if *apiKeys != "" {
+		f, err := os.Open(*apiKeys)
+		if err != nil {
+			fatal(err)
+		}
+		tenants, err := server.ParseTenants(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("-api-keys %s: %w", *apiKeys, err))
+		}
+		cfg.Tenants = tenants
+		fmt.Fprintf(os.Stderr, "cvcpd: API keys enabled for %d tenant(s)\n", len(tenants))
+	}
+	startAux(*pprofAddr)
 	var closeStore func() error
 	switch server.Role(*role) {
 	case server.RoleSingle:
@@ -209,6 +229,31 @@ func runWorker(cfg server.Config, id string, workers int, leaseTTL, poll time.Du
 		}
 	}
 	fmt.Fprintln(os.Stderr, "cvcpd: bye")
+}
+
+// startAux serves the operational auxiliary listener — /debug/pprof/ and
+// /metrics — when -pprof-addr is set. It runs for every role: workers have
+// no API listener, so this is their only exposition surface. The listener
+// is deliberately separate from the API so profiling and scraping can stay
+// on a private interface while the API faces clients.
+func startAux(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", metrics.Handler())
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(os.Stderr, "cvcpd: pprof and metrics on %s\n", addr)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "cvcpd: pprof listener: %v\n", err)
+		}
+	}()
 }
 
 func fatal(err error) {

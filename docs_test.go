@@ -100,6 +100,17 @@ var requiredAPIDocs = map[string][]string{
 		"Last-Event-ID", "read-header-timeout", "read-timeout", "idle-timeout",
 		"matrix32", "shard_status", "-role", "-worker-id", "-shard-cells",
 		"-lease-ttl", "-poll",
+		"unauthorized", "quota_exceeded", "X-API-Key", "Bearer", "eps",
+	},
+	"docs/operations.md": {
+		"cvcpd_jobs_submitted_total", "cvcpd_jobs_rejected_total",
+		"cvcpd_jobs_completed_total", "cvcpd_job_duration_seconds",
+		"cvcpd_limiter_wait_seconds", "cvcpd_runcache_hits_total",
+		"cvcpd_wal_fsync_seconds", "cvcpd_store_compactions_total",
+		"cvcpd_shard_leases_total", "cvcpd_shard_reclaims_total",
+		"cvcpd_heartbeat_renewals_total",
+		"-metrics", "-pprof-addr", "-api-keys",
+		"max_queued", "Authorization: Bearer", "/debug/pprof/",
 	},
 	"docs/architecture.md": {
 		"Select", "Spec", "Grid", "Supervision", "Scorer",

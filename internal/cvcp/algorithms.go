@@ -43,6 +43,16 @@ type FOSCOpticsDend struct {
 	// ties can legitimately resolve differently when distances differ by
 	// less than one float32 ULP (see docs/performance.md).
 	Matrix32 bool
+	// Eps, when positive, caps OPTICS's neighborhood radius: the ordering
+	// is computed by the VP-tree ε-range driver (optics.RunWithEps),
+	// which never materializes the pairwise-distance matrix — range
+	// queries compute distances on demand. 0 means the dense ε=∞ path
+	// over the shared matrix. Eps = +Inf is accepted and bit-identical
+	// to the dense path (the driver's documented guarantee); combining a
+	// positive Eps with Matrix32 is rejected by the callers that
+	// validate specs (the driver has no float32-matrix mode) and here
+	// Eps simply wins.
+	Eps float64
 }
 
 // Name implements Algorithm.
@@ -55,7 +65,7 @@ func (FOSCOpticsDend) Name() string { return "FOSC-OPTICSDend" }
 // pairwise-distance matrix, even when the engine schedules them
 // concurrently.
 func (f FOSCOpticsDend) Cluster(ds *dataset.Dataset, train *constraints.Set, minPts int, seed int64) ([]int, error) {
-	res, err := opticsDendrogram(ds, minPts, f.Matrix32)
+	res, err := opticsDendrogram(ds, minPts, f.Matrix32, f.Eps)
 	if err != nil {
 		return nil, err
 	}
@@ -70,8 +80,8 @@ func (f FOSCOpticsDend) Cluster(ds *dataset.Dataset, train *constraints.Set, min
 	return ext.Labels, nil
 }
 
-func opticsDendrogram(ds *dataset.Dataset, minPts int, f32 bool) (*hierarchy.Dendrogram, error) {
-	ord, err := opticsRun(ds, minPts, f32)
+func opticsDendrogram(ds *dataset.Dataset, minPts int, f32 bool, eps float64) (*hierarchy.Dendrogram, error) {
+	ord, err := opticsRun(ds, minPts, f32, eps)
 	if err != nil {
 		return nil, err
 	}

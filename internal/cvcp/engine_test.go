@@ -166,7 +166,7 @@ func TestRunCacheHammer(t *testing.T) {
 			got := map[int]any{}
 			for i := 0; i < 50; i++ {
 				mp := minPts[i%len(minPts)]
-				res, err := opticsRun(ds, mp, false)
+				res, err := opticsRun(ds, mp, false, 0)
 				if err != nil {
 					t.Error(err)
 					return

@@ -1,0 +1,57 @@
+package cvcp
+
+import (
+	"math"
+	"testing"
+
+	"cvcp/internal/constraints"
+	"cvcp/internal/stats"
+)
+
+// TestEpsInfSelectionBitIdenticalToDense is the equivalence guarantee
+// behind the finite-ε job option: a FOSC selection through the ε-range
+// OPTICS driver with ε = ∞ must be bit-identical — selected MinPts, fold
+// scores, final labels — to the dense-matrix path, because an infinite
+// radius makes every neighborhood complete and the driver visits objects
+// in the same deterministic order.
+func TestEpsInfSelectionBitIdenticalToDense(t *testing.T) {
+	ds := blobsDataset(97, 3, 18, 14)
+	r := stats.NewRand(98)
+	cons := constraints.Sample(r, constraints.Pool(r, ds.Y, 0.3), 0.5)
+	params := []int{3, 6, 9, 12}
+
+	dense := selectFOSC(t, FOSCOpticsDend{}, ds, cons, params)
+	inf := selectFOSC(t, FOSCOpticsDend{Eps: math.Inf(1)}, ds, cons, params)
+	equalSelection(t, dense, inf, "eps=+Inf vs dense matrix")
+}
+
+// TestEpsLargeFiniteSelectionBitIdenticalToDense: any finite ε no smaller
+// than the dataset's diameter is equivalent to ε = ∞ — every neighborhood
+// is still complete — so the selection stays bit-identical to dense. This
+// is the property the server's eps job option leans on: a client choosing
+// a generous radius loses nothing but the memory savings.
+func TestEpsLargeFiniteSelectionBitIdenticalToDense(t *testing.T) {
+	ds := blobsDataset(99, 3, 18, 14)
+	r := stats.NewRand(100)
+	cons := constraints.Sample(r, constraints.Pool(r, ds.Y, 0.3), 0.5)
+	params := []int{3, 6, 9, 12}
+
+	// Blob centers sit within tens of units; 1e6 dwarfs the diameter.
+	dense := selectFOSC(t, FOSCOpticsDend{}, ds, cons, params)
+	wide := selectFOSC(t, FOSCOpticsDend{Eps: 1e6}, ds, cons, params)
+	equalSelection(t, dense, wide, "large finite eps vs dense matrix")
+}
+
+// TestEpsWinsOverMatrix32: when both are set (callers validate against
+// it, but the library must still be deterministic), the ε-range driver
+// runs and the float32 matrix flag is ignored.
+func TestEpsWinsOverMatrix32(t *testing.T) {
+	ds := blobsDataset(101, 3, 12, 14)
+	r := stats.NewRand(102)
+	cons := constraints.Sample(r, constraints.Pool(r, ds.Y, 0.3), 0.5)
+	params := []int{3, 6}
+
+	plain := selectFOSC(t, FOSCOpticsDend{Eps: math.Inf(1)}, ds, cons, params)
+	both := selectFOSC(t, FOSCOpticsDend{Eps: math.Inf(1), Matrix32: true}, ds, cons, params)
+	equalSelection(t, plain, both, "eps with matrix32 set vs eps alone")
+}

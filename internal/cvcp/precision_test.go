@@ -84,11 +84,11 @@ func TestFloat32SelectionAgreesOnSeparatedData(t *testing.T) {
 	// The orderings themselves must agree too, for every candidate MinPts.
 	runCache.Flush()
 	for _, mp := range params {
-		a, err := opticsRun(ds, mp, false)
+		a, err := opticsRun(ds, mp, false, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := opticsRun(ds, mp, true)
+		b, err := opticsRun(ds, mp, true, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -31,6 +31,7 @@ type distMatrixKey struct{ f32 bool }
 type opticsKey struct {
 	minPts int
 	f32    bool
+	eps    float64 // 0 = dense ε=∞ path; > 0 (incl. +Inf) = VP-tree ε-range driver
 }
 
 // The matrix builders are package variables so the equivalence tests can
@@ -60,11 +61,17 @@ func distMatrix(ds *dataset.Dataset, f32 bool) *linalg.DistMatrix {
 	return v.(*linalg.DistMatrix)
 }
 
-// opticsRun returns the dataset's OPTICS ordering for (minPts, precision),
-// computing it (on the shared distance matrix of that precision) at most
-// once per cached dataset.
-func opticsRun(ds *dataset.Dataset, minPts int, f32 bool) (*optics.Result, error) {
-	v, err := runCache.Do(ds, opticsKey{minPts, f32}, func() (any, error) {
+// opticsRun returns the dataset's OPTICS ordering for (minPts, precision,
+// eps), computing it at most once per cached dataset. eps = 0 runs the
+// dense path on the shared distance matrix of the requested precision;
+// a positive eps routes through the VP-tree ε-range driver, which
+// computes distances on demand and never touches (or populates) the
+// cached matrix — a finite-ε grid column costs no O(n²) memory.
+func opticsRun(ds *dataset.Dataset, minPts int, f32 bool, eps float64) (*optics.Result, error) {
+	v, err := runCache.Do(ds, opticsKey{minPts, f32, eps}, func() (any, error) {
+		if eps > 0 {
+			return optics.RunWithEps(ds.X, minPts, eps)
+		}
 		return optics.RunWithMatrix(distMatrix(ds, f32), minPts)
 	})
 	if err != nil {

@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cvcp/internal/cvcp"
+	"cvcp/internal/store"
+	"cvcp/internal/store/storetest"
+)
+
+var errInjected = errors.New("storetest: injected failure")
+
+// TestCoordinatorGridPutFailure: a store refusing the grid record must
+// fail RunJob immediately with the store's error — and still clean up.
+func TestCoordinatorGridPutFailure(t *testing.T) {
+	job, _ := testGridJob(t, testJobSpec{Seed: 71})
+	mem := store.NewMemory()
+	defer mem.Close()
+	faulty := storetest.Wrap(mem)
+	faulty.FailCalls(storetest.OpPut, errInjected, 1) // the grid record is the first Put
+
+	coord := &Coordinator{Store: faulty, ShardCells: 4, Poll: 3 * time.Millisecond}
+	_, err := coord.RunJob(context.Background(), job, nil, nil)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("RunJob error = %v, want the injected store failure", err)
+	}
+	if !strings.Contains(err.Error(), "publishing grid record") {
+		t.Errorf("err = %v, want the grid-record context", err)
+	}
+	requireNoDistRecords(t, mem, job.ID)
+}
+
+// TestCoordinatorShardReadFailure: a store error while watching shards
+// must abort RunJob with the read error and tear the job's records down,
+// so workers stop finding its shards.
+func TestCoordinatorShardReadFailure(t *testing.T) {
+	job, _ := testGridJob(t, testJobSpec{Seed: 72})
+	mem := store.NewMemory()
+	defer mem.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	startWorker(ctx, &wg, mem, "w0") // workers see the healthy store
+
+	faulty := storetest.Wrap(mem)
+	faulty.FailCalls(storetest.OpGet, errInjected, 1) // first watch read
+	coord := &Coordinator{Store: faulty, ShardCells: 4, Poll: 3 * time.Millisecond}
+	_, err := coord.RunJob(ctx, job, nil, nil)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("RunJob error = %v, want the injected store failure", err)
+	}
+	if !strings.Contains(err.Error(), "reading shard") {
+		t.Errorf("err = %v, want the shard-read context", err)
+	}
+	requireNoDistRecords(t, mem, job.ID)
+	cancel()
+	wg.Wait()
+}
+
+// TestWorkerPartialPutFailureReclaimed: a worker that computes a shard
+// but cannot write its partial must not mark the shard done; the lease
+// expires, the shard is re-leased at a higher epoch and recomputed, and
+// the job still finishes bit-identical to single-node. This is the
+// crash-equivalence claim for the write path: losing a result write is
+// indistinguishable from losing the worker.
+func TestWorkerPartialPutFailureReclaimed(t *testing.T) {
+	ts := testJobSpec{Seed: 73}
+	want, err := cvcp.Select(context.Background(), testSelectionSpec(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, plan := testGridJob(t, ts)
+
+	mem := store.NewMemory()
+	defer mem.Close()
+	faulty := storetest.Wrap(mem)
+	// A worker's only Puts are partials: losing the first one simulates
+	// the write failing after the compute succeeded.
+	faulty.FailCalls(storetest.OpPut, errInjected, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	reclaimsBefore := mShardReclaims.Value()
+	startWorker(ctx, &wg, faulty, "w0")
+
+	coord := &Coordinator{Store: mem, ShardCells: 4, Poll: 3 * time.Millisecond}
+	scores, err := coord.RunJob(ctx, job, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.Finalize(context.Background(), scores, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, want, got, "post-put-failure vs single-node")
+
+	if n := faulty.Calls(storetest.OpPut); n < 2 {
+		t.Fatalf("worker issued %d partial Put(s); the injected failure was never retried", n)
+	}
+	// The lost shard had to be leased again at a higher epoch before its
+	// recompute — visible as a reclaim in the worker's own accounting.
+	if d := mShardReclaims.Value() - reclaimsBefore; d < 1 {
+		t.Errorf("no shard lease was reclaimed after the lost partial (reclaim delta %d)", d)
+	}
+	requireNoDistRecords(t, mem, job.ID)
+	cancel()
+	wg.Wait()
+}

@@ -1,0 +1,16 @@
+package dist
+
+import "cvcp/internal/metrics"
+
+// Distributed-layer metric families (see internal/metrics): shard lease
+// turnover as seen by this process's workers. First-time acquisitions
+// and reclaims are split so a reclaim spike (worker churn, missed
+// heartbeats) is visible independently of normal throughput.
+var (
+	mShardLeases = metrics.NewCounter("cvcpd_shard_leases_total",
+		"Shards leased for the first time by a worker in this process.")
+	mShardReclaims = metrics.NewCounter("cvcpd_shard_reclaims_total",
+		"Expired shard leases taken over by a worker in this process.")
+	mHeartbeatRenewals = metrics.NewCounter("cvcpd_heartbeat_renewals_total",
+		"Successful shard lease renewals by workers in this process.")
+)

@@ -156,6 +156,11 @@ func (w *Worker) tryAcquire(id string) (ShardState, int, bool) {
 	if err != nil || !acquired {
 		return ShardState{}, 0, false
 	}
+	if got.Epoch == 1 {
+		mShardLeases.Inc()
+	} else {
+		mShardReclaims.Inc()
+	}
 	return got, got.Epoch, true
 }
 
@@ -292,7 +297,10 @@ func (w *Worker) heartbeat(ctx context.Context, cancel context.CancelFunc, st Sh
 			cancel()
 			return
 		}
-		_ = err // transient store trouble: keep trying until the TTL decides
+		if err == nil {
+			mHeartbeatRenewals.Inc()
+		}
+		// Transient store trouble: keep trying until the TTL decides.
 	}
 }
 

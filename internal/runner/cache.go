@@ -66,6 +66,9 @@ func (c *Cache) Do(owner, key any, compute func() (any, error)) (any, error) {
 	if !ok {
 		e = &cacheEntry{}
 		m[key] = e
+		mCacheMisses.Inc()
+	} else {
+		mCacheHits.Inc()
 	}
 	c.mu.Unlock()
 

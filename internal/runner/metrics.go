@@ -1,0 +1,18 @@
+package runner
+
+import "cvcp/internal/metrics"
+
+// Engine metric families (see internal/metrics): how long grid tasks
+// wait for a shared Limiter slot, how many slots are occupied, and the
+// run cache's hit rate. Process-wide, like the engine's Limiter and
+// Cache themselves.
+var (
+	mLimiterWait = metrics.NewHistogram("cvcpd_limiter_wait_seconds",
+		"Time a grid task waited to acquire a shared worker-budget slot.", metrics.DurationBuckets)
+	mLimiterInUse = metrics.NewGauge("cvcpd_limiter_slots_in_use",
+		"Shared worker-budget slots currently held by executing tasks.")
+	mCacheHits = metrics.NewCounter("cvcpd_runcache_hits_total",
+		"Run-cache lookups that found (or joined the computation of) an existing entry.")
+	mCacheMisses = metrics.NewCounter("cvcpd_runcache_misses_total",
+		"Run-cache lookups that created a new entry.")
+)

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Task is one unit of grid work. It must confine its writes to state no
@@ -78,17 +79,32 @@ func NewLimiter(n int) *Limiter {
 // Cap returns the number of slots.
 func (l *Limiter) Cap() int { return cap(l.slots) }
 
-// acquire blocks until a slot is free or ctx is done.
+// acquire blocks until a slot is free or ctx is done. The uncontended
+// fast path observes a zero-length wait without reading the clock
+// twice; only a blocked acquire pays for timestamps.
 func (l *Limiter) acquire(ctx context.Context) error {
 	select {
 	case l.slots <- struct{}{}:
+		mLimiterWait.Observe(0)
+		mLimiterInUse.Inc()
+		return nil
+	default:
+	}
+	start := time.Now()
+	select {
+	case l.slots <- struct{}{}:
+		mLimiterWait.Observe(time.Since(start).Seconds())
+		mLimiterInUse.Inc()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-func (l *Limiter) release() { <-l.slots }
+func (l *Limiter) release() {
+	<-l.slots
+	mLimiterInUse.Dec()
+}
 
 func (o Options) workers() int {
 	if o.Workers > 0 {

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// API-key authentication. With tenants configured (Config.Tenants),
+// every /v1 endpoint requires a configured key via "Authorization:
+// Bearer <key>" or "X-API-Key: <key>"; the resolved tenant name rides
+// the request context and is stamped onto submitted specs, where the
+// manager's fair queue and quotas pick it up. /healthz and /metrics
+// stay keyless — probes and scrapers are infrastructure, not tenants.
+// With no tenants configured, authentication is disabled and every
+// request acts as the anonymous tenant.
+
+// tenantKey is the context key of the authenticated tenant name.
+type tenantKey struct{}
+
+// requestTenant returns the tenant name the authed middleware resolved
+// ("" on open deployments).
+func requestTenant(r *http.Request) string {
+	t, _ := r.Context().Value(tenantKey{}).(string)
+	return t
+}
+
+// requestKey extracts the presented API key, preferring the
+// Authorization bearer form.
+func requestKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if key, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return key
+		}
+		return "" // a non-bearer Authorization header never matches
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// authed wraps a handler with API-key authentication.
+func (a *api) authed(next http.HandlerFunc) http.HandlerFunc {
+	if len(a.keys) == 0 {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, ok := a.keys[requestKey(r)]
+		if !ok {
+			mAuthFailures.Inc()
+			writeError(w, &apiError{status: http.StatusUnauthorized, Code: "unauthorized",
+				Message: "missing or unknown API key (send Authorization: Bearer <key> or X-API-Key)"})
+			return
+		}
+		next(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, t.Name)))
+	}
+}
+
+// ParseTenants reads the cvcpd -api-keys file format: one tenant per
+// line, "<key> <name> [weight [max_queued]]", with blank lines and '#'
+// comments ignored. Keys and names must be unique; weight defaults to
+// 1 and max_queued to 0 (no per-tenant cap).
+func ParseTenants(r io.Reader) ([]Tenant, error) {
+	var out []Tenant
+	keys, names := map[string]bool{}, map[string]bool{}
+	sc := bufio.NewScanner(r)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 4 {
+			return nil, fmt.Errorf("api-keys line %d: want \"<key> <name> [weight [max_queued]]\", got %d fields", ln, len(fields))
+		}
+		t := Tenant{Key: fields[0], Name: fields[1], Weight: 1}
+		if len(fields) >= 3 {
+			w, err := strconv.Atoi(fields[2])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("api-keys line %d: weight %q: want a positive integer", ln, fields[2])
+			}
+			t.Weight = w
+		}
+		if len(fields) == 4 {
+			q, err := strconv.Atoi(fields[3])
+			if err != nil || q < 0 {
+				return nil, fmt.Errorf("api-keys line %d: max_queued %q: want a non-negative integer", ln, fields[3])
+			}
+			t.MaxQueued = q
+		}
+		if keys[t.Key] {
+			return nil, fmt.Errorf("api-keys line %d: duplicate key", ln)
+		}
+		if names[t.Name] {
+			return nil, fmt.Errorf("api-keys line %d: duplicate tenant name %q", ln, t.Name)
+		}
+		keys[t.Key], names[t.Name] = true, true
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("api-keys: %w", err)
+	}
+	return out, nil
+}

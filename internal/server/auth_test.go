@@ -1,0 +1,206 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func authTestServer(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	ts, _ := newTestServer(t, Config{
+		MaxRunningJobs: 1, WorkerBudget: 2, QueueDepth: 8,
+		Tenants: []Tenant{
+			{Key: "secret-a", Name: "alice", Weight: 2},
+			{Key: "secret-b", Name: "bob", Weight: 1, MaxQueued: 2},
+		},
+	})
+	_, csvText := testDataset(t, 30)
+	return ts, csvText
+}
+
+func submitAs(t *testing.T, ts *httptest.Server, csvText string, header, value string) *http.Response {
+	t.Helper()
+	url := ts.URL + "/v1/jobs?algorithm=fosc&params=3,6&folds=2&seed=5&label_fraction=0.5&has_label=true"
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	if header != "" {
+		req.Header.Set(header, value)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// With tenants configured, every /v1 route demands a known key; health
+// and metrics stay open for probes and scrapers.
+func TestAuthRequiredWhenTenantsConfigured(t *testing.T) {
+	ts, csvText := authTestServer(t)
+
+	for name, resp := range map[string]*http.Response{
+		"no key":        submitAs(t, ts, csvText, "", ""),
+		"wrong key":     submitAs(t, ts, csvText, "X-API-Key", "nope"),
+		"non-bearer":    submitAs(t, ts, csvText, "Authorization", "Basic secret-a"),
+		"bearer-spaced": submitAs(t, ts, csvText, "Authorization", "Bearersecret-a"),
+	} {
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s: status %d, want 401", name, resp.StatusCode)
+		}
+		if e := decodeAPIError(t, resp); e.Code != "unauthorized" {
+			t.Errorf("%s: error code %q, want unauthorized", name, e.Code)
+		}
+	}
+
+	listReq, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs", nil)
+	resp, err := http.DefaultClient.Do(listReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unauthenticated list: status %d, want 401", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s without key: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// Both credential forms resolve the tenant, and the authenticated tenant
+// is stamped onto the job — visible in its view and immune to spoofing
+// via the request body.
+func TestAuthStampsTenant(t *testing.T) {
+	ts, csvText := authTestServer(t)
+
+	bearer := submitAs(t, ts, csvText, "Authorization", "Bearer secret-a")
+	if bearer.StatusCode != http.StatusAccepted {
+		t.Fatalf("bearer submit: status %d", bearer.StatusCode)
+	}
+	jv := decodeJob(t, bearer.Body)
+	bearer.Body.Close()
+	if jv.Tenant != "alice" {
+		t.Fatalf("bearer job tenant %q, want alice", jv.Tenant)
+	}
+
+	apiKey := submitAs(t, ts, csvText, "X-API-Key", "secret-b")
+	if apiKey.StatusCode != http.StatusAccepted {
+		t.Fatalf("x-api-key submit: status %d", apiKey.StatusCode)
+	}
+	jv2 := decodeJob(t, apiKey.Body)
+	apiKey.Body.Close()
+	if jv2.Tenant != "bob" {
+		t.Fatalf("x-api-key job tenant %q, want bob", jv2.Tenant)
+	}
+}
+
+// A tenant's MaxQueued quota yields 429 quota_exceeded once its waiting
+// jobs hit the cap, without touching other tenants' headroom.
+func TestTenantQuota(t *testing.T) {
+	_, csvText := testDataset(t, 30)
+	alg := newBlockingAlg()
+	RegisterAlgorithm("block-quota", alg, []int{1})
+	ts, _ := newTestServer(t, Config{
+		MaxRunningJobs: 1, WorkerBudget: 1, QueueDepth: 16,
+		Tenants: []Tenant{
+			{Key: "secret-a", Name: "alice", Weight: 1},
+			{Key: "secret-b", Name: "bob", Weight: 1, MaxQueued: 2},
+		},
+	})
+
+	submit := func(key string) *http.Response {
+		url := ts.URL + "/v1/jobs?algorithm=block-quota&params=1&folds=2&seed=5&label_fraction=0.5&has_label=true"
+		req, _ := http.NewRequest(http.MethodPost, url, strings.NewReader(csvText))
+		req.Header.Set("Content-Type", "text/csv")
+		req.Header.Set("Authorization", "Bearer "+key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Park alice's job in the executor so later jobs stay queued.
+	first := submit("secret-a")
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("alice's job: status %d", first.StatusCode)
+	}
+	first.Body.Close()
+	<-alg.started
+	defer close(alg.release)
+
+	for i := 0; i < 2; i++ {
+		resp := submit("secret-b")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("bob's job %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	over := submit("secret-b")
+	if over.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("bob over quota: status %d, want 429", over.StatusCode)
+	}
+	if e := decodeAPIError(t, over); e.Code != "quota_exceeded" {
+		t.Fatalf("bob over quota: code %q, want quota_exceeded", e.Code)
+	}
+
+	// Alice has no MaxQueued: the global queue is her only bound.
+	extra := submit("secret-a")
+	if extra.StatusCode != http.StatusAccepted {
+		t.Fatalf("alice after bob's quota: status %d", extra.StatusCode)
+	}
+	extra.Body.Close()
+}
+
+func TestParseTenants(t *testing.T) {
+	in := `
+# production keys
+key-a alice
+key-b bob 3
+key-c carol 2 10
+`
+	tenants, err := ParseTenants(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tenant{
+		{Key: "key-a", Name: "alice", Weight: 1},
+		{Key: "key-b", Name: "bob", Weight: 3},
+		{Key: "key-c", Name: "carol", Weight: 2, MaxQueued: 10},
+	}
+	if len(tenants) != len(want) {
+		t.Fatalf("parsed %d tenants, want %d", len(tenants), len(want))
+	}
+	for i, tn := range tenants {
+		if tn != want[i] {
+			t.Errorf("tenant %d = %+v, want %+v", i, tn, want[i])
+		}
+	}
+
+	for name, bad := range map[string]string{
+		"one field":      "justakey",
+		"five fields":    "k n 1 2 3",
+		"bad weight":     "k n zero",
+		"zero weight":    "k n 0",
+		"bad quota":      "k n 1 many",
+		"negative quota": "k n 1 -2",
+		"dup key":        "k a\nk b",
+		"dup name":       "k1 a\nk2 a",
+	} {
+		if _, err := ParseTenants(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: ParseTenants accepted %q", name, bad)
+		}
+	}
+}

@@ -124,10 +124,16 @@ func (a *api) submitBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
+	for i := range items {
+		items[i].Spec.Tenant = requestTenant(r)
+	}
 	view, err := a.m.SubmitBatch(items)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, &apiError{status: http.StatusTooManyRequests, Code: "queue_full", Message: err.Error()})
+		return
+	case errors.Is(err, ErrTenantQuota):
+		writeError(w, &apiError{status: http.StatusTooManyRequests, Code: "quota_exceeded", Message: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
 		writeError(w, &apiError{status: http.StatusServiceUnavailable, Code: "draining", Message: err.Error()})

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// The eps option threads through spec validation, execution and the job
+// view — the server-side mirror of the library's ε-equivalence tests.
+func TestEpsSpec(t *testing.T) {
+	ds, _ := testDataset(t, 30)
+
+	base := Spec{Algorithm: "fosc", Params: []int{3, 6}, NFolds: 2, Seed: 5, LabelFraction: 0.5}
+
+	for name, bad := range map[string]Spec{
+		"negative": func() Spec { s := base; s.Eps = -1; return s }(),
+		"nan":      func() Spec { s := base; s.Eps = math.NaN(); return s }(),
+		"infinite": func() Spec { s := base; s.Eps = math.Inf(1); return s }(),
+		"no fosc": func() Spec {
+			s := base
+			s.Algorithm = "mpck"
+			s.Params = []int{2, 3}
+			s.Eps = 5
+			return s
+		}(),
+		"with matrix32": func() Spec { s := base; s.Eps = 5; s.Matrix32 = true; return s }(),
+	} {
+		if _, _, apiErr := finishSpec(bad, ds); apiErr == nil {
+			t.Errorf("%s eps spec was accepted", name)
+		}
+	}
+
+	good := base
+	good.Eps = 500
+	spec, _, apiErr := finishSpec(good, ds)
+	if apiErr != nil {
+		t.Fatalf("finite eps with fosc rejected: %v", apiErr.Message)
+	}
+	if cross, _, apiErr := finishSpec(Spec{Algorithms: []string{"mpck", "fosc"}, Params: []int{3, 6}, Eps: 500, NFolds: 2, Seed: 5, LabelFraction: 0.5}, ds); apiErr != nil || cross.Eps != 500 {
+		t.Fatalf("eps with fosc among algorithms rejected: %v", apiErr)
+	}
+
+	m := NewManager(Config{MaxRunningJobs: 1, WorkerBudget: 2})
+	defer m.Shutdown(context.Background())
+
+	// Dense reference for the same data and options.
+	denseJob, err := m.Submit(base, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitTerminal(t, denseJob); s != StatusDone {
+		t.Fatalf("dense job finished as %s (%s)", s, denseJob.View().Error)
+	}
+
+	// The test dataset spans a few tens of units; eps 500 exceeds its
+	// diameter, so the ε-range driver must select identically to dense.
+	epsJob, err := m.Submit(spec, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitTerminal(t, epsJob); s != StatusDone {
+		t.Fatalf("eps job finished as %s (%s)", s, epsJob.View().Error)
+	}
+	v := epsJob.View()
+	if v.Eps != 500 {
+		t.Fatalf("job view eps = %v, want 500", v.Eps)
+	}
+	sameResultView(t, v.Result, denseJob.View().Result)
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cvcp/internal/store"
+	"cvcp/internal/store/storetest"
+)
+
+// errInjected is the scripted failure every fault test injects.
+var errInjected = errors.New("storetest: injected failure")
+
+// TestSubmitStoreFailureReleasesSlot proves a failed record write cannot
+// leak its reserved queue slot or leave a half-created job behind: the
+// very next submission into a depth-1 queue succeeds.
+func TestSubmitStoreFailureReleasesSlot(t *testing.T) {
+	ds, _ := testDataset(t, 20)
+	faulty := storetest.Wrap(store.NewMemory())
+	faulty.FailCalls(storetest.OpPut, errInjected, 1)
+	m := NewManager(Config{QueueDepth: 1, MaxRunningJobs: 1, WorkerBudget: 1, Store: faulty})
+	defer m.Shutdown(context.Background())
+
+	if _, err := m.Submit(quickSpec(), ds); !errors.Is(err, errInjected) {
+		t.Fatalf("submit error = %v, want the injected store failure", err)
+	}
+	if n := m.Len(); n != 0 {
+		t.Fatalf("failed submission left %d job(s) visible", n)
+	}
+
+	// The queue has exactly one slot; if the failed submission leaked its
+	// reservation this would fail with ErrQueueFull.
+	j, err := m.Submit(quickSpec(), ds)
+	if err != nil {
+		t.Fatalf("submit after store failure: %v", err)
+	}
+	if s := waitTerminal(t, j); s != StatusDone {
+		t.Fatalf("job finished as %s, want done", s)
+	}
+}
+
+// TestBatchStoreFailureRollsBack proves a mid-batch write failure removes
+// every already-persisted sibling: the store retains no job records and
+// the queue slots all free.
+func TestBatchStoreFailureRollsBack(t *testing.T) {
+	ds, _ := testDataset(t, 20)
+	faulty := storetest.Wrap(store.NewMemory())
+	faulty.FailCalls(storetest.OpPut, errInjected, 2) // second item's record write
+	m := NewManager(Config{QueueDepth: 3, MaxRunningJobs: 1, WorkerBudget: 1, Store: faulty})
+	defer m.Shutdown(context.Background())
+
+	items := []BatchItem{
+		{Spec: quickSpec(), Dataset: ds},
+		{Spec: quickSpec(), Dataset: ds},
+		{Spec: quickSpec(), Dataset: ds},
+	}
+	if _, err := m.SubmitBatch(items); !errors.Is(err, errInjected) {
+		t.Fatalf("batch error = %v, want the injected store failure", err)
+	}
+	if n := m.Len(); n != 0 {
+		t.Fatalf("rolled-back batch left %d job(s) visible", n)
+	}
+	recs, _, err := faulty.List("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if strings.HasPrefix(rec.ID, "job-") {
+			t.Fatalf("rolled-back batch left record %s in the store", rec.ID)
+		}
+	}
+
+	// All three slots must be free again: the same batch fits.
+	bv, err := m.SubmitBatch(items)
+	if err != nil {
+		t.Fatalf("batch after rollback: %v", err)
+	}
+	if len(bv.Jobs) != 3 {
+		t.Fatalf("retried batch created %d jobs, want 3", len(bv.Jobs))
+	}
+	for _, v := range bv.Jobs {
+		j, err := m.Get(v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := waitTerminal(t, j); s != StatusDone {
+			t.Fatalf("batch job %s finished as %s, want done", v.ID, s)
+		}
+	}
+}
+
+// TestReplayListFailureServesEmpty proves an unreadable store at startup
+// degrades to an empty service instead of a crash — and that the manager
+// still accepts new work against the (now healthy) store.
+func TestReplayListFailureServesEmpty(t *testing.T) {
+	ds, _ := testDataset(t, 20)
+	mem := store.NewMemory()
+
+	seed := NewManager(Config{MaxRunningJobs: 1, WorkerBudget: 1, Store: mem})
+	j, err := seed.Submit(quickSpec(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	seed.Shutdown(context.Background())
+
+	faulty := storetest.Wrap(mem)
+	faulty.FailCalls(storetest.OpList, errInjected, 1)
+	m := NewManager(Config{MaxRunningJobs: 1, WorkerBudget: 1, Store: faulty})
+	defer m.Shutdown(context.Background())
+	if n := m.Len(); n != 0 {
+		t.Fatalf("manager replayed %d job(s) from an unreadable store", n)
+	}
+	j2, err := m.Submit(quickSpec(), ds)
+	if err != nil {
+		t.Fatalf("submit after failed replay: %v", err)
+	}
+	if s := waitTerminal(t, j2); s != StatusDone {
+		t.Fatalf("job finished as %s, want done", s)
+	}
+}
+
+// TestAppendEventsFailureDegrades proves a broken event log never fails
+// the job: the selection completes and only the persisted SSE history is
+// lost.
+func TestAppendEventsFailureDegrades(t *testing.T) {
+	ds, _ := testDataset(t, 20)
+	faulty := storetest.Wrap(store.NewMemory())
+	faulty.Hook(storetest.OpAppendEvents, func(call int, id string) error { return errInjected })
+	m := NewManager(Config{MaxRunningJobs: 1, WorkerBudget: 1, Store: faulty})
+	defer m.Shutdown(context.Background())
+
+	j, err := m.Submit(quickSpec(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitTerminal(t, j); s != StatusDone {
+		t.Fatalf("job finished as %s, want done", s)
+	}
+	if v := j.View(); v.Result == nil {
+		t.Fatal("job completed without a result")
+	}
+	if faulty.Calls(storetest.OpAppendEvents) == 0 {
+		t.Fatal("no AppendEvents calls reached the store; the test exercised nothing")
+	}
+	evs, err := faulty.EventsSince(j.ID(), 0)
+	if err != nil && !errors.Is(err, errInjected) {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("injected failures still persisted %d event(s)", len(evs))
+	}
+}

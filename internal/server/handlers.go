@@ -5,25 +5,36 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+
+	"cvcp/internal/metrics"
 )
 
-// NewHandler returns the HTTP API over the manager.
+// NewHandler returns the HTTP API over the manager. When the manager's
+// config names tenants, every /v1 route requires one of their API keys;
+// /healthz and /metrics stay keyless (see auth.go).
 func NewHandler(m *Manager) http.Handler {
-	a := &api{m: m}
+	a := &api{m: m, keys: map[string]Tenant{}}
+	for _, t := range m.Config().Tenants {
+		a.keys[t.Key] = t
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", a.submit)
-	mux.HandleFunc("GET /v1/jobs", a.list)
-	mux.HandleFunc("GET /v1/jobs/{id}", a.get)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
-	mux.HandleFunc("POST /v1/batches", a.submitBatch)
-	mux.HandleFunc("GET /v1/batches/{id}", a.getBatch)
+	mux.HandleFunc("POST /v1/jobs", a.authed(a.submit))
+	mux.HandleFunc("GET /v1/jobs", a.authed(a.list))
+	mux.HandleFunc("GET /v1/jobs/{id}", a.authed(a.get))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.authed(a.cancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", a.authed(a.events))
+	mux.HandleFunc("POST /v1/batches", a.authed(a.submitBatch))
+	mux.HandleFunc("GET /v1/batches/{id}", a.authed(a.getBatch))
 	mux.HandleFunc("GET /healthz", a.health)
+	if !m.Config().DisableMetrics {
+		mux.Handle("GET /metrics", metrics.Handler())
+	}
 	return mux
 }
 
 type api struct {
-	m *Manager
+	m    *Manager
+	keys map[string]Tenant // API key -> tenant; empty means auth disabled
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -46,10 +57,14 @@ func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
+	spec.Tenant = requestTenant(r)
 	j, err := a.m.Submit(spec, ds)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, &apiError{status: http.StatusTooManyRequests, Code: "queue_full", Message: err.Error()})
+		return
+	case errors.Is(err, ErrTenantQuota):
+		writeError(w, &apiError{status: http.StatusTooManyRequests, Code: "quota_exceeded", Message: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
 		writeError(w, &apiError{status: http.StatusServiceUnavailable, Code: "draining", Message: err.Error()})

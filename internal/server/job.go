@@ -76,6 +76,21 @@ type Spec struct {
 	// documented bit-exactness caveats). Valid only when the grid has a
 	// FOSC candidate; other methods have no distance matrix to shrink.
 	Matrix32 bool `json:"matrix32,omitempty"`
+	// Eps, when positive, caps the OPTICS neighborhood radius of the
+	// job's FOSC candidates: density estimation routes through the
+	// VP-tree ε-range driver (optics.RunWithEps) instead of the dense
+	// distance matrix, trading the matrix's O(n²) memory for on-demand
+	// range queries. 0 means the dense ε=∞ path. Valid only when the
+	// grid has a FOSC candidate, and mutually exclusive with Matrix32
+	// (the ε-range driver has no float32-matrix mode). Must be finite —
+	// an unbounded radius is exactly what Eps=0 already runs.
+	Eps float64 `json:"eps,omitempty"`
+	// Tenant is the name of the API-key tenant that submitted the job
+	// ("" for the anonymous tenant of an open deployment). Set by the
+	// server from the authenticated key, never by clients; persisting it
+	// in the spec keeps quota and fair-queue accounting correct across a
+	// restart's re-queue.
+	Tenant string `json:"tenant,omitempty"`
 	// Exactly one of LabelFraction / Constraints is set: LabelFraction > 0
 	// runs Scenario I (labels sampled from the dataset's label column with
 	// the job seed, exactly as cmd/cvcp does), a non-empty Constraints list
@@ -581,9 +596,10 @@ func buildSelectionSpec(spec Spec, ds *dataset.Dataset) (corecvcp.Spec, error) {
 			return corecvcp.Spec{}, errUnknownAlgorithm(name)
 		}
 		alg := entry.alg
-		if spec.Matrix32 {
+		if spec.Matrix32 || spec.Eps > 0 {
 			if fo, ok := alg.(corecvcp.FOSCOpticsDend); ok {
-				fo.Matrix32 = true
+				fo.Matrix32 = spec.Matrix32
+				fo.Eps = spec.Eps
 				alg = fo
 			}
 		}
@@ -703,6 +719,8 @@ type JobView struct {
 	Algorithms []string    `json:"algorithms,omitempty"`
 	Scorer     string      `json:"scorer,omitempty"`
 	Matrix32   bool        `json:"matrix32,omitempty"`
+	Eps        float64     `json:"eps,omitempty"`
+	Tenant     string      `json:"tenant,omitempty"`
 	Dataset    string      `json:"dataset"`
 	Objects    int         `json:"objects"`
 	Params     []int       `json:"params"`
@@ -729,6 +747,8 @@ func (j *Job) View() JobView {
 		Algorithms: j.spec.Algorithms,
 		Scorer:     j.spec.Scorer,
 		Matrix32:   j.spec.Matrix32,
+		Eps:        j.spec.Eps,
+		Tenant:     j.spec.Tenant,
 		Dataset:    j.dsName,
 		Objects:    j.objects,
 		Params:     j.spec.Params,

@@ -21,6 +21,10 @@ var (
 	// ErrQueueFull rejects a submission when the bounded FIFO queue is at
 	// capacity (a batch needs one free slot per dataset).
 	ErrQueueFull = errors.New("server: job queue is full")
+	// ErrTenantQuota rejects a submission when the submitting tenant's
+	// max-queued quota is exhausted (the global queue may still have
+	// room — the quota is per API key).
+	ErrTenantQuota = errors.New("server: tenant queue quota exceeded")
 	// ErrDraining rejects submissions after Shutdown began.
 	ErrDraining = errors.New("server: shutting down, not accepting jobs")
 	// ErrNotFound marks an unknown (or evicted) job or batch id.
@@ -49,17 +53,23 @@ type Manager struct {
 	baseCancel context.CancelFunc
 	execWG     sync.WaitGroup
 
-	mu        sync.Mutex
-	cond      *sync.Cond // signals: pending grew, or draining began
-	pending   []*Job     // the FIFO queue; cancelled jobs are removed eagerly
-	jobs      map[string]*Job
-	order     []string // ID (= submission) order, for List
-	finished  []string // finish order, for eviction
-	batches   map[string]*batchState
-	nextID    int
-	nextBatch int
-	reserved  int // queue slots held by submissions persisting outside the lock
-	draining  bool
+	// tenants indexes Config.Tenants by name; submissions under an
+	// unconfigured (or empty) tenant name fall back to weight 1 with no
+	// per-tenant quota.
+	tenants map[string]Tenant
+
+	mu         sync.Mutex
+	cond       *sync.Cond // signals: the queue grew, or draining began
+	queue      *fairQueue // the pending queue; cancelled jobs are removed eagerly
+	jobs       map[string]*Job
+	order      []string // ID (= submission) order, for List
+	finished   []string // finish order, for eviction
+	batches    map[string]*batchState
+	nextID     int
+	nextBatch  int
+	reserved   int            // queue slots held by submissions persisting outside the lock
+	reservedBy map[string]int // reserved, per tenant (for quota accounting)
+	draining   bool
 
 	// metaMu serializes counter high-water-mark writes so a stale
 	// snapshot can never overwrite a newer one (see applyEviction).
@@ -87,8 +97,14 @@ func NewManager(cfg Config) *Manager {
 		limiter:    runner.NewLimiter(cfg.WorkerBudget),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		tenants:    map[string]Tenant{},
+		queue:      newFairQueue(),
 		jobs:       map[string]*Job{},
 		batches:    map[string]*batchState{},
+		reservedBy: map[string]int{},
+	}
+	for _, t := range cfg.Tenants {
+		m.tenants[t.Name] = t
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.replay()
@@ -104,6 +120,22 @@ func NewManager(cfg Config) *Manager {
 
 // Config returns the effective (defaulted) configuration.
 func (m *Manager) Config() Config { return m.cfg }
+
+// tenantFor resolves a tenant name to its configuration; unconfigured
+// names (including the anonymous "") get weight 1 and no quota.
+func (m *Manager) tenantFor(name string) Tenant {
+	if t, ok := m.tenants[name]; ok {
+		return t
+	}
+	return Tenant{Name: name, Weight: 1}
+}
+
+// enqueueLocked puts j into the fair queue under its tenant's weight.
+// Callers hold mu.
+func (m *Manager) enqueueLocked(j *Job) {
+	m.queue.push(j.spec.Tenant, m.tenantFor(j.spec.Tenant).Weight, j)
+	m.queueGaugeLocked()
+}
 
 // replay loads every record from the store before the executors start:
 // terminal records resurrect in place, interrupted ones re-enter the
@@ -214,7 +246,7 @@ func (m *Manager) restore(rec store.Record) {
 	if requeue {
 		// Back to the queue; persist the reset (a "running" record becomes
 		// "queued" again so a second restart replays consistently).
-		m.pending = append(m.pending, j)
+		m.enqueueLocked(j)
 		m.persist(j)
 		return
 	}
@@ -230,20 +262,22 @@ func (m *Manager) executor() {
 	defer m.execWG.Done()
 	for {
 		m.mu.Lock()
-		for len(m.pending) == 0 && !m.draining {
+		for m.queue.len() == 0 && !m.draining {
 			m.cond.Wait()
 		}
-		if len(m.pending) == 0 { // draining and nothing left
+		if m.queue.len() == 0 { // draining and nothing left
 			m.mu.Unlock()
 			return
 		}
-		j := m.pending[0]
-		m.pending = m.pending[1:]
+		j := m.queue.pop()
+		m.queueGaugeLocked()
 		m.mu.Unlock()
 
 		if j.claimRun() {
 			m.persist(j) // running
+			mJobsRunning.Inc()
 			m.runJob(j)
+			mJobsRunning.Dec()
 		}
 		// Whether the job ran or was cancelled in the instant between the
 		// pop and the claim, it is terminal now: persist the final state
@@ -264,6 +298,11 @@ func (m *Manager) persist(j *Job) {
 // the retention window. The store writes of an eviction happen outside the
 // lock.
 func (m *Manager) retire(j *Job) {
+	v := j.View()
+	mJobsCompleted.With(string(v.Status)).Inc()
+	if v.Finished != nil {
+		mJobDuration.Observe(v.Finished.Sub(v.Created).Seconds())
+	}
 	m.mu.Lock()
 	m.finished = append(m.finished, j.id)
 	evicted, meta := m.trimFinishedLocked()
@@ -318,16 +357,22 @@ func (m *Manager) applyEviction(evicted []string, writeMeta bool) {
 	for _, id := range evicted {
 		_ = m.store.Delete(id)
 	}
+	mJobsEvicted.Add(uint64(len(evicted)))
 }
 
 // reserveLocked allocates n job IDs and holds n queue slots for a
-// submission that will persist outside the lock. The caller holds mu.
-func (m *Manager) reserveLocked(n int) ([]string, error) {
+// tenant's submission that will persist outside the lock. The caller
+// holds mu. Beyond the global queue bound, a tenant with a configured
+// MaxQueued quota is held to queued+reserved <= MaxQueued.
+func (m *Manager) reserveLocked(tenant string, n int) ([]string, error) {
 	if m.draining {
 		return nil, ErrDraining
 	}
-	if len(m.pending)+m.reserved+n > m.cfg.QueueDepth {
+	if m.queue.len()+m.reserved+n > m.cfg.QueueDepth {
 		return nil, ErrQueueFull
+	}
+	if t := m.tenantFor(tenant); t.MaxQueued > 0 && m.queue.queued(tenant)+m.reservedBy[tenant]+n > t.MaxQueued {
+		return nil, ErrTenantQuota
 	}
 	// Nine digits of zero padding: the store orders by lexicographic ID,
 	// which must equal numeric order for the lifetime of a durable store
@@ -338,14 +383,18 @@ func (m *Manager) reserveLocked(n int) ([]string, error) {
 		ids[i] = fmt.Sprintf("job-%09d", m.nextID)
 	}
 	m.reserved += n
+	m.reservedBy[tenant] += n
+	m.queueGaugeLocked()
 	return ids, nil
 }
 
 // release returns n reserved queue slots after a failed submission. The
 // consumed IDs stay consumed — gaps are harmless, reuse is not.
-func (m *Manager) release(n int) {
+func (m *Manager) release(tenant string, n int) {
 	m.mu.Lock()
 	m.reserved -= n
+	m.reservedBy[tenant] -= n
+	m.queueGaugeLocked()
 	m.mu.Unlock()
 }
 
@@ -358,7 +407,11 @@ func (m *Manager) release(n int) {
 func (m *Manager) publish(jobs []*Job, b *batchState) error {
 	m.mu.Lock()
 	m.reserved -= len(jobs)
+	for _, j := range jobs {
+		m.reservedBy[j.spec.Tenant]--
+	}
 	if m.draining {
+		m.queueGaugeLocked()
 		m.mu.Unlock()
 		for _, j := range jobs {
 			m.discardPersisted(j)
@@ -371,7 +424,7 @@ func (m *Manager) publish(jobs []*Job, b *batchState) error {
 		m.order = append(m.order, "")
 		copy(m.order[i+1:], m.order[i:])
 		m.order[i] = j.id
-		m.pending = append(m.pending, j)
+		m.enqueueLocked(j)
 	}
 	if b != nil {
 		m.batches[b.id] = b
@@ -405,23 +458,27 @@ func (m *Manager) discardPersisted(j *Job) {
 func (m *Manager) Submit(spec Spec, ds *dataset.Dataset) (*Job, error) {
 	blob := marshalDataset(ds)
 	m.mu.Lock()
-	ids, err := m.reserveLocked(1)
+	ids, err := m.reserveLocked(spec.Tenant, 1)
 	m.mu.Unlock()
 	if err != nil {
+		mJobsRejected.With(rejectReason(err)).Inc()
 		return nil, err
 	}
 	j := newJob(ids[0], "", spec, ds, blob, m.baseCtx, m, nil, 0, false)
 	if err := m.store.Put(j.record()); err != nil {
-		m.release(1)
+		m.release(spec.Tenant, 1)
 		// Discard, don't just cancel: newJob already appended the queued
 		// event to the store's log, and the consumed ID is never reused —
 		// an orphaned event log would otherwise live in the store forever.
 		m.discardPersisted(j)
+		mJobsRejected.With("store_error").Inc()
 		return nil, fmt.Errorf("server: persisting job: %w", err)
 	}
 	if err := m.publish([]*Job{j}, nil); err != nil {
+		mJobsRejected.With(rejectReason(err)).Inc()
 		return nil, err
 	}
+	mJobsSubmitted.Inc()
 	return j, nil
 }
 
@@ -436,10 +493,17 @@ func (m *Manager) SubmitBatch(items []BatchItem) (BatchView, error) {
 	for i, it := range items {
 		blobs[i] = marshalDataset(it.Dataset)
 	}
+	// A batch arrives through one submission, so every item shares the
+	// submitting tenant.
+	tenant := ""
+	if len(items) > 0 {
+		tenant = items[0].Spec.Tenant
+	}
 	m.mu.Lock()
-	ids, err := m.reserveLocked(len(items))
+	ids, err := m.reserveLocked(tenant, len(items))
 	if err != nil {
 		m.mu.Unlock()
+		mJobsRejected.With(rejectReason(err)).Inc()
 		return BatchView{}, err
 	}
 	m.nextBatch++
@@ -458,15 +522,18 @@ func (m *Manager) SubmitBatch(items []BatchItem) (BatchView, error) {
 			for _, created := range jobs {
 				m.discardPersisted(created)
 			}
-			m.release(len(items))
+			m.release(tenant, len(items))
+			mJobsRejected.With("store_error").Inc()
 			return BatchView{}, fmt.Errorf("server: persisting job: %w", err)
 		}
 		jobs = append(jobs, j)
 		b.jobIDs = append(b.jobIDs, j.id)
 	}
 	if err := m.publish(jobs, b); err != nil {
+		mJobsRejected.With(rejectReason(err)).Inc()
 		return BatchView{}, err
 	}
+	mJobsSubmitted.Add(uint64(len(jobs)))
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.batchViewLocked(b), nil
@@ -592,13 +659,9 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		// immediately. Exactly one of this path and the executor (which
 		// pops before we got here) retires the job.
 		m.mu.Lock()
-		removed := false
-		for i, q := range m.pending {
-			if q == j {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
-				removed = true
-				break
-			}
+		removed := m.queue.remove(j)
+		if removed {
+			m.queueGaugeLocked()
 		}
 		m.mu.Unlock()
 		if removed {

@@ -1,0 +1,47 @@
+package server
+
+import "cvcp/internal/metrics"
+
+// The manager's metric families, registered process-wide at init (see
+// internal/metrics: importing the package is registration, and GET
+// /metrics on any handler serves every family). Counters are
+// cumulative over the process; the gauges track the manager's live
+// queue and executor occupancy.
+var (
+	mJobsSubmitted = metrics.NewCounter("cvcpd_jobs_submitted_total",
+		"Jobs accepted into the queue (batch items count individually).")
+	mJobsRejected = metrics.NewCounterVec("cvcpd_jobs_rejected_total",
+		"Submissions rejected, by reason (queue_full, quota_exceeded, draining, store_error).", "reason")
+	mJobsCompleted = metrics.NewCounterVec("cvcpd_jobs_completed_total",
+		"Jobs that reached a terminal state, by final status.", "status")
+	mJobsEvicted = metrics.NewCounter("cvcpd_jobs_evicted_total",
+		"Finished jobs evicted beyond the retention window.")
+	mJobsQueued = metrics.NewGauge("cvcpd_jobs_queued",
+		"Jobs waiting for an executor, including slots reserved by in-flight submissions.")
+	mJobsRunning = metrics.NewGauge("cvcpd_jobs_running",
+		"Jobs currently executing.")
+	mJobDuration = metrics.NewHistogram("cvcpd_job_duration_seconds",
+		"End-to-end job latency, submission to terminal state.", metrics.DurationBuckets)
+	mAuthFailures = metrics.NewCounter("cvcpd_auth_failures_total",
+		"API requests rejected for a missing or unknown API key.")
+)
+
+// rejectReason maps a submission error to its rejection-counter label.
+func rejectReason(err error) string {
+	switch err {
+	case ErrQueueFull:
+		return "queue_full"
+	case ErrTenantQuota:
+		return "quota_exceeded"
+	case ErrDraining:
+		return "draining"
+	default:
+		return "store_error"
+	}
+}
+
+// queueGaugeLocked refreshes the queued-jobs gauge; callers hold m.mu
+// and call it after every queue or reservation mutation.
+func (m *Manager) queueGaugeLocked() {
+	mJobsQueued.Set(int64(m.queue.len() + m.reserved))
+}

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promFamily is one parsed metric family of a text-exposition scrape.
+type promFamily struct {
+	typ     string // counter, gauge, histogram
+	samples map[string]float64
+}
+
+// parseExposition parses Prometheus text exposition format 0.0.4
+// strictly enough to catch real malformations: every sample line must
+// parse as "<name>[{labels}] <float>", every sample must belong to a
+// family announced by a preceding # TYPE line, and HELP/TYPE must come
+// paired and first.
+func parseExposition(t *testing.T, r io.Reader) map[string]*promFamily {
+	t.Helper()
+	fams := map[string]*promFamily{}
+	var cur string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(fields) != 2 || fields[0] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln, line)
+			}
+			cur = fields[0]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln, line)
+			}
+			if fields[0] != cur {
+				t.Fatalf("line %d: TYPE for %q directly after HELP for %q", ln, fields[0], cur)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln, fields[1])
+			}
+			fams[fields[0]] = &promFamily{typ: fields[1], samples: map[string]float64{}}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form: %q", ln, line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: sample without value: %q", ln, line)
+		}
+		key, valText := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("line %d: unparsable value %q: %v", ln, valText, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set: %q", ln, line)
+			}
+			name = key[:i]
+		}
+		fam := fams[base(name)]
+		if fam == nil {
+			t.Fatalf("line %d: sample %q before its TYPE header", ln, name)
+		}
+		fam.samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+// base maps histogram sample names (_bucket/_sum/_count suffixes) to
+// their family name; other names map to themselves.
+func base(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return name[:len(name)-len(suf)]
+		}
+	}
+	return name
+}
+
+// TestMetricsScrape is the exposition acceptance test: after running a
+// real job on a durable store, GET /metrics must serve valid Prometheus
+// text exposition covering the server, runner, store and dist metric
+// families, with histogram buckets cumulative and consistent.
+func TestMetricsScrape(t *testing.T) {
+	_, csvText := testDataset(t, 30)
+	dir := t.TempDir()
+	fs := openFileStore(t, dir)
+	ts, _ := newTestServer(t, Config{MaxRunningJobs: 1, WorkerBudget: 2, Store: fs})
+
+	// Run one job end to end so every layer has something to count.
+	url := ts.URL + "/v1/jobs?algorithm=fosc&params=3,6&folds=2&seed=5&label_fraction=0.5&has_label=true"
+	resp, err := http.Post(url, "text/csv", strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	job := decodeJob(t, resp.Body)
+	resp.Body.Close()
+	pollJob(t, ts, job.ID, StatusDone)
+
+	scrape, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scrape.Body.Close()
+	if scrape.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", scrape.StatusCode)
+	}
+	if ct := scrape.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("GET /metrics: Content-Type %q", ct)
+	}
+	fams := parseExposition(t, scrape.Body)
+
+	// Every layer's families must be present: server, runner, store, dist.
+	for fam, typ := range map[string]string{
+		"cvcpd_jobs_submitted_total":     "counter",
+		"cvcpd_jobs_rejected_total":      "counter",
+		"cvcpd_jobs_completed_total":     "counter",
+		"cvcpd_jobs_evicted_total":       "counter",
+		"cvcpd_jobs_queued":              "gauge",
+		"cvcpd_jobs_running":             "gauge",
+		"cvcpd_job_duration_seconds":     "histogram",
+		"cvcpd_auth_failures_total":      "counter",
+		"cvcpd_limiter_wait_seconds":     "histogram",
+		"cvcpd_limiter_slots_in_use":     "gauge",
+		"cvcpd_runcache_hits_total":      "counter",
+		"cvcpd_runcache_misses_total":    "counter",
+		"cvcpd_wal_appends_total":        "counter",
+		"cvcpd_wal_fsync_seconds":        "histogram",
+		"cvcpd_store_compactions_total":  "counter",
+		"cvcpd_shard_leases_total":       "counter",
+		"cvcpd_shard_reclaims_total":     "counter",
+		"cvcpd_heartbeat_renewals_total": "counter",
+	} {
+		f := fams[fam]
+		if f == nil {
+			t.Errorf("family %s missing from scrape", fam)
+			continue
+		}
+		if f.typ != typ {
+			t.Errorf("family %s has type %s, want %s", fam, f.typ, typ)
+		}
+	}
+
+	// The job this test ran must be visible in the counters. (Values are
+	// process-global, so assert floors, not exact counts.)
+	mustAtLeast := func(sample string, min float64) {
+		t.Helper()
+		found := false
+		for _, f := range fams {
+			if v, ok := f.samples[sample]; ok {
+				found = true
+				if v < min {
+					t.Errorf("%s = %v, want >= %v", sample, v, min)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("sample %s missing from scrape", sample)
+		}
+	}
+	mustAtLeast("cvcpd_jobs_submitted_total", 1)
+	mustAtLeast(`cvcpd_jobs_completed_total{status="done"}`, 1)
+	mustAtLeast("cvcpd_job_duration_seconds_count", 1)
+	mustAtLeast("cvcpd_limiter_wait_seconds_count", 1)
+	mustAtLeast("cvcpd_wal_appends_total", 1)
+	mustAtLeast("cvcpd_wal_fsync_seconds_count", 1)
+	mustAtLeast("cvcpd_runcache_misses_total", 1)
+
+	// Histogram integrity: cumulative buckets, +Inf == _count.
+	for name, f := range fams {
+		if f.typ != "histogram" {
+			continue
+		}
+		type bkt struct {
+			le  float64
+			val float64
+		}
+		var buckets []bkt
+		var inf float64
+		hasInf := false
+		for key, val := range f.samples {
+			if !strings.HasPrefix(key, name+"_bucket{le=\"") {
+				continue
+			}
+			leText := strings.TrimSuffix(strings.TrimPrefix(key, name+"_bucket{le=\""), "\"}")
+			if leText == "+Inf" {
+				inf, hasInf = val, true
+				continue
+			}
+			le, err := strconv.ParseFloat(leText, 64)
+			if err != nil {
+				t.Fatalf("%s: unparsable le %q", name, leText)
+			}
+			buckets = append(buckets, bkt{le, val})
+		}
+		if !hasInf {
+			t.Errorf("%s: no +Inf bucket", name)
+			continue
+		}
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+		prev := 0.0
+		for _, b := range buckets {
+			if b.val < prev {
+				t.Errorf("%s: bucket le=%v count %v below previous %v (not cumulative)", name, b.le, b.val, prev)
+			}
+			prev = b.val
+		}
+		if inf < prev {
+			t.Errorf("%s: +Inf bucket %v below largest finite bucket %v", name, inf, prev)
+		}
+		count, ok := f.samples[name+"_count"]
+		if !ok {
+			t.Errorf("%s: missing _count", name)
+			continue
+		}
+		if inf != count {
+			t.Errorf("%s: +Inf bucket %v != _count %v", name, inf, count)
+		}
+		if _, ok := f.samples[name+"_sum"]; !ok {
+			t.Errorf("%s: missing _sum", name)
+		}
+	}
+}

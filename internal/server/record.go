@@ -208,6 +208,8 @@ func viewFromRecord(rec store.Record) JobView {
 		Algorithms: sr.Spec.Algorithms,
 		Scorer:     sr.Spec.Scorer,
 		Matrix32:   sr.Spec.Matrix32,
+		Eps:        sr.Spec.Eps,
+		Tenant:     sr.Spec.Tenant,
 		Dataset:    sr.DatasetName,
 		Objects:    sr.Objects,
 		Params:     sr.Spec.Params,

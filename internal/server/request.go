@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -39,6 +40,7 @@ type jobRequest struct {
 	Folds           int              `json:"folds"`
 	Seed            int64            `json:"seed"`
 	Matrix32        bool             `json:"matrix32"`
+	Eps             float64          `json:"eps"`
 	LabelFraction   float64          `json:"label_fraction"`
 	Constraints     []constraintJSON `json:"constraints"`
 }
@@ -124,6 +126,7 @@ func specFromRequest(req jobRequest) (Spec, *apiError) {
 		NFolds:          req.Folds,
 		Seed:            req.Seed,
 		Matrix32:        req.Matrix32,
+		Eps:             req.Eps,
 		LabelFraction:   req.LabelFraction,
 	}
 	if len(spec.Params) == 0 && (req.ParamMin != 0 || req.ParamMax != 0) {
@@ -215,6 +218,13 @@ func parseOptions(get func(string) string) (spec Spec, hasLabel bool, name strin
 			return Spec{}, false, "", badRequest("invalid_request", "option %q: %v", "seed", err)
 		}
 		spec.Seed = v
+	}
+	if s := get("eps"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Spec{}, false, "", badRequest("invalid_request", "option %q: %v", "eps", err)
+		}
+		spec.Eps = v
 	}
 	if s := get("label_fraction"); s != "" {
 		v, err := strconv.ParseFloat(s, 64)
@@ -407,6 +417,24 @@ func finishSpec(spec Spec, ds *dataset.Dataset) (Spec, *dataset.Dataset, *apiErr
 		// Only FOSC carries an OPTICS distance matrix; accepting matrix32
 		// on a grid without one would silently do nothing.
 		return Spec{}, nil, badRequest("invalid_request", "matrix32 requires a fosc candidate in the grid")
+	}
+	if spec.Eps != 0 {
+		if math.IsNaN(spec.Eps) || spec.Eps < 0 {
+			return Spec{}, nil, badRequest("invalid_request", "eps %v: want a positive radius", spec.Eps)
+		}
+		if math.IsInf(spec.Eps, 1) {
+			// ε=∞ is what the dense default already computes; make clients
+			// say what they mean instead of paying the range-query path for
+			// nothing (and keep the persisted spec JSON-representable).
+			return Spec{}, nil, badRequest("invalid_request", "eps must be finite (omit it for the dense ε=∞ path)")
+		}
+		if !gridHasFOSC(spec.methods()) {
+			// Eps only caps FOSC's OPTICS density estimation.
+			return Spec{}, nil, badRequest("invalid_request", "eps requires a fosc candidate in the grid")
+		}
+		if spec.Matrix32 {
+			return Spec{}, nil, badRequest("invalid_request", "eps and matrix32 are mutually exclusive (the ε-range driver computes distances on demand, not from a matrix)")
+		}
 	}
 	if spec.NFolds < 0 {
 		return Spec{}, nil, badRequest("invalid_request", "folds must be >= 0 (0 means the default)")

@@ -72,6 +72,29 @@ const (
 	RoleWorker Role = "worker"
 )
 
+// Tenant is one API-key principal of a multi-tenant deployment: a
+// bearer key, a stable name (persisted on the tenant's jobs), a fair-
+// queueing weight and an optional queue quota. Configuring at least one
+// tenant switches the API to mandatory key authentication; with no
+// tenants configured the API is open and all jobs run as the anonymous
+// weight-1 tenant.
+type Tenant struct {
+	// Key is the API key presented as "Authorization: Bearer <key>" or
+	// "X-API-Key: <key>".
+	Key string
+	// Name identifies the tenant in job records, fair-queue accounting
+	// and operator tooling. Must be unique across tenants.
+	Name string
+	// Weight is the tenant's weighted-fair-queueing share; under
+	// contention tenants dequeue in proportion to their weights. Values
+	// < 1 mean 1.
+	Weight int
+	// MaxQueued caps the tenant's waiting (queued + mid-submission)
+	// jobs; submissions beyond it fail with ErrTenantQuota. 0 means no
+	// per-tenant cap beyond the global QueueDepth.
+	MaxQueued int
+}
+
 // Config sizes the Manager.
 type Config struct {
 	// QueueDepth bounds how many submitted jobs may wait for an executor;
@@ -113,6 +136,16 @@ type Config struct {
 	// Poll is the coordinator's shard-watch interval (and the worker's
 	// idle scan interval in RunWorker); 0 means 100ms.
 	Poll time.Duration
+	// Tenants, when non-empty, enables per-tenant API keys with weighted
+	// fair queueing: every /v1 request must present a configured key,
+	// and each tenant's jobs are scheduled under its Weight and bounded
+	// by its MaxQueued quota. Empty means an open API with a single
+	// anonymous weight-1 tenant (the pre-multi-tenant behavior).
+	Tenants []Tenant
+	// DisableMetrics hides GET /metrics from the API handler (cvcpd
+	// -metrics=false). Instrumentation still runs; only the exposition
+	// endpoint disappears.
+	DisableMetrics bool
 }
 
 func (c Config) withDefaults() Config {

@@ -305,15 +305,19 @@ func (f *File) append(e walEntry, sync bool) error {
 	if !sync {
 		f.walSize += int64(len(data))
 		f.walLen++
+		mWALAppends.Inc()
 		f.scheduleSyncLocked()
 		return nil
 	}
+	start := time.Now()
 	if err := f.wal.Sync(); err != nil {
 		_ = f.wal.Truncate(f.walSize)
 		return fmt.Errorf("store: syncing WAL: %w", err)
 	}
+	mWALFsync.Observe(time.Since(start).Seconds())
 	f.walSize += int64(len(data))
 	f.walLen++
+	mWALAppends.Inc()
 	f.dirty = false // the sync covered every earlier unsynced entry too
 	return nil
 }
@@ -346,7 +350,9 @@ func (f *File) flushEvents() {
 	f.dirty = false
 	wal := f.wal
 	f.mu.Unlock()
+	start := time.Now()
 	if wal.Sync() == nil {
+		mWALFsync.Observe(time.Since(start).Seconds())
 		return
 	}
 	// Transient sync failure (EIO and kin): re-mark the bytes unsynced
@@ -412,6 +418,7 @@ func (f *File) compactLocked() error {
 	f.walLen = 0
 	f.walSize = 0
 	f.dirty = false // everything unsynced is now in the snapshot
+	mCompactions.Inc()
 	return nil
 }
 
@@ -485,7 +492,11 @@ func (f *File) compact() error {
 	if f.closed {
 		return ErrClosed
 	}
-	return f.cutWALLocked(coveredSize, coveredLen)
+	if err := f.cutWALLocked(coveredSize, coveredLen); err != nil {
+		return err
+	}
+	mCompactions.Inc()
+	return nil
 }
 
 // cutWALLocked replaces the WAL with just its suffix past coveredSize —

@@ -1,0 +1,187 @@
+// Package storetest wraps a store.Store with scripted fault injection for
+// exercising the error paths of store consumers — the server's submit and
+// replay flows, the distributed coordinator and workers — without a real
+// failing disk. A Faulty store delegates every operation to the wrapped
+// store, but first consults per-operation hooks that can return errors,
+// inject latency, or observe arguments; it also counts every call so tests
+// can assert how consumers retried or backed off.
+package storetest
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cvcp/internal/store"
+)
+
+// Op names one Store operation for hooks and counters.
+type Op string
+
+const (
+	OpPut          Op = "Put"
+	OpGet          Op = "Get"
+	OpList         Op = "List"
+	OpDelete       Op = "Delete"
+	OpUpdate       Op = "Update"
+	OpAppendEvents Op = "AppendEvents"
+	OpEventsSince  Op = "EventsSince"
+)
+
+// Ops lists every operation, in a stable order.
+var Ops = []Op{OpPut, OpGet, OpList, OpDelete, OpUpdate, OpAppendEvents, OpEventsSince}
+
+// Faulty is a store.Store (and store.Updater, when the wrapped store is
+// one) with scripted failures. The zero value is not usable; construct
+// with Wrap. All methods are safe for concurrent use, like the stores
+// they wrap.
+type Faulty struct {
+	inner store.Store
+
+	mu     sync.Mutex
+	hooks  map[Op]func(call int, id string) error
+	delays map[Op]time.Duration
+	counts map[Op]*atomic.Int64
+}
+
+// Wrap returns a Faulty delegating to inner. With no hooks installed it
+// behaves exactly like inner (plus call counting).
+func Wrap(inner store.Store) *Faulty {
+	f := &Faulty{
+		inner:  inner,
+		hooks:  map[Op]func(int, string) error{},
+		delays: map[Op]time.Duration{},
+		counts: map[Op]*atomic.Int64{},
+	}
+	for _, op := range Ops {
+		f.counts[op] = &atomic.Int64{}
+	}
+	return f
+}
+
+// Hook installs fn for op. Before delegating, the operation calls
+// fn(call, id) — call is the 1-based invocation number of that op, id the
+// record or job ID ("" for List) — and a non-nil return aborts the
+// operation with that error, leaving the wrapped store untouched.
+// A nil fn clears the hook.
+func (f *Faulty) Hook(op Op, fn func(call int, id string) error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fn == nil {
+		delete(f.hooks, op)
+		return
+	}
+	f.hooks[op] = fn
+}
+
+// FailCalls makes the listed 1-based invocations of op fail with err,
+// counting from the current call count. Other invocations pass through.
+func (f *Faulty) FailCalls(op Op, err error, calls ...int) {
+	fail := map[int]bool{}
+	for _, c := range calls {
+		fail[c] = true
+	}
+	f.Hook(op, func(call int, id string) error {
+		if fail[call] {
+			return err
+		}
+		return nil
+	})
+}
+
+// SetDelay makes every invocation of op sleep for d before delegating
+// (after its hook, so a failing call does not pay the latency). d <= 0
+// clears the delay.
+func (f *Faulty) SetDelay(op Op, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d <= 0 {
+		delete(f.delays, op)
+		return
+	}
+	f.delays[op] = d
+}
+
+// Calls reports how many times op has been invoked (including aborted
+// invocations).
+func (f *Faulty) Calls(op Op) int {
+	return int(f.counts[op].Load())
+}
+
+// before runs the op's bookkeeping: count, hook, delay. It returns the
+// hook's error, if any.
+func (f *Faulty) before(op Op, id string) error {
+	call := int(f.counts[op].Add(1))
+	f.mu.Lock()
+	hook := f.hooks[op]
+	delay := f.delays[op]
+	f.mu.Unlock()
+	if hook != nil {
+		if err := hook(call, id); err != nil {
+			return err
+		}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+func (f *Faulty) Put(rec store.Record) error {
+	if err := f.before(OpPut, rec.ID); err != nil {
+		return err
+	}
+	return f.inner.Put(rec)
+}
+
+func (f *Faulty) Get(id string) (store.Record, bool, error) {
+	if err := f.before(OpGet, id); err != nil {
+		return store.Record{}, false, err
+	}
+	return f.inner.Get(id)
+}
+
+func (f *Faulty) List(cursor string, limit int) ([]store.Record, string, error) {
+	if err := f.before(OpList, ""); err != nil {
+		return nil, "", err
+	}
+	return f.inner.List(cursor, limit)
+}
+
+func (f *Faulty) Delete(id string) error {
+	if err := f.before(OpDelete, id); err != nil {
+		return err
+	}
+	return f.inner.Delete(id)
+}
+
+func (f *Faulty) Len() (int, error) {
+	return f.inner.Len()
+}
+
+func (f *Faulty) Close() error {
+	return f.inner.Close()
+}
+
+func (f *Faulty) AppendEvents(id string, events []store.Event) error {
+	if err := f.before(OpAppendEvents, id); err != nil {
+		return err
+	}
+	return f.inner.AppendEvents(id, events)
+}
+
+func (f *Faulty) EventsSince(id string, afterSeq int) ([]store.Event, error) {
+	if err := f.before(OpEventsSince, id); err != nil {
+		return nil, err
+	}
+	return f.inner.EventsSince(id, afterSeq)
+}
+
+// Update implements store.Updater when the wrapped store does; it panics
+// otherwise, mirroring how consumers type-assert for the capability.
+func (f *Faulty) Update(id string, fn func(cur store.Record, ok bool) (store.Record, bool, error)) (store.Record, error) {
+	if err := f.before(OpUpdate, id); err != nil {
+		return store.Record{}, err
+	}
+	return f.inner.(store.Updater).Update(id, fn)
+}

@@ -1,0 +1,115 @@
+package storetest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cvcp/internal/store"
+)
+
+var errBoom = errors.New("boom")
+
+func TestPassThroughAndCounting(t *testing.T) {
+	f := Wrap(store.NewMemory())
+	defer f.Close()
+
+	if err := f.Put(store.Record{ID: "job-1", Status: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := f.Get("job-1"); err != nil || !ok {
+		t.Fatalf("Get = ok %v, err %v", ok, err)
+	}
+	if recs, _, err := f.List("", 0); err != nil || len(recs) != 1 {
+		t.Fatalf("List = %d records, err %v", len(recs), err)
+	}
+	if err := f.AppendEvents("job-1", []store.Event{{Seq: 1, Data: []byte("{}")}}); err != nil {
+		t.Fatal(err)
+	}
+	if evs, err := f.EventsSince("job-1", 0); err != nil || len(evs) != 1 {
+		t.Fatalf("EventsSince = %d events, err %v", len(evs), err)
+	}
+	if err := f.Delete("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	for op, want := range map[Op]int{OpPut: 1, OpGet: 1, OpList: 1, OpAppendEvents: 1, OpEventsSince: 1, OpDelete: 1, OpUpdate: 0} {
+		if got := f.Calls(op); got != want {
+			t.Errorf("Calls(%s) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestFailCalls(t *testing.T) {
+	f := Wrap(store.NewMemory())
+	defer f.Close()
+
+	f.FailCalls(OpPut, errBoom, 1, 3)
+	rec := store.Record{ID: "job-1", Status: "queued"}
+	if err := f.Put(rec); !errors.Is(err, errBoom) {
+		t.Fatalf("call 1 error = %v, want boom", err)
+	}
+	// The aborted call must not have reached the inner store.
+	if _, ok, _ := f.Get("job-1"); ok {
+		t.Fatal("failed Put still wrote the record")
+	}
+	if err := f.Put(rec); err != nil {
+		t.Fatalf("call 2 error = %v, want nil", err)
+	}
+	if err := f.Put(rec); !errors.Is(err, errBoom) {
+		t.Fatalf("call 3 error = %v, want boom", err)
+	}
+	f.Hook(OpPut, nil)
+	if err := f.Put(rec); err != nil {
+		t.Fatalf("after clearing the hook: %v", err)
+	}
+}
+
+func TestUpdatePassesThrough(t *testing.T) {
+	f := Wrap(store.NewMemory())
+	defer f.Close()
+
+	if err := f.Put(store.Record{ID: "job-1", Status: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f.Update("job-1", func(cur store.Record, ok bool) (store.Record, bool, error) {
+		if !ok {
+			t.Fatal("Update saw no record")
+		}
+		cur.Status = "running"
+		return cur, true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != "running" {
+		t.Fatalf("Update returned status %q", rec.Status)
+	}
+	f.FailCalls(OpUpdate, errBoom, 2)
+	if _, err := f.Update("job-1", func(cur store.Record, ok bool) (store.Record, bool, error) {
+		return cur, false, nil
+	}); !errors.Is(err, errBoom) {
+		t.Fatalf("Update error = %v, want boom", err)
+	}
+}
+
+func TestSetDelay(t *testing.T) {
+	f := Wrap(store.NewMemory())
+	defer f.Close()
+
+	f.SetDelay(OpGet, 30*time.Millisecond)
+	start := time.Now()
+	if _, _, err := f.Get("nope"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("Get returned after %v, want >= 30ms", d)
+	}
+	f.SetDelay(OpGet, 0)
+	start = time.Now()
+	if _, _, err := f.Get("nope"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("cleared delay still slept %v", d)
+	}
+}
