@@ -1,0 +1,237 @@
+// Package analysis is cvcplint's analyzer framework: a deliberately
+// small, dependency-free mirror of the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) plus the repo-specific
+// analyzers that mechanically enforce the determinism and concurrency
+// contracts every other package relies on — bit-identical selections at
+// any worker count, across restarts, and across distributed nodes.
+//
+// The framework exists in-repo because the module is intentionally
+// dependency-free: the loader (loader.go) type-checks packages from
+// source with stdlib go/types, resolving imports through compiler
+// export data obtained from `go list -export`, so the whole suite
+// builds and runs offline with nothing beyond the Go toolchain.
+//
+// The five analyzers and their scopes are catalogued in
+// docs/static-analysis.md. Findings can be suppressed, one site at a
+// time, with a reasoned directive (see suppress.go):
+//
+//	//cvcplint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive with no reason is itself a diagnostic: every suppression
+// must say why the contract does not apply at that site.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one check: a name (used in diagnostics and in
+// suppression directives), one-line documentation, and a Run function
+// invoked once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that produced
+// it. Suppressed is set by Apply when a //cvcplint:ignore directive
+// covers the diagnostic's line.
+type Diagnostic struct {
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, NonDeterm, LockIO, FPReduce, MetricReg}
+}
+
+// deterministicScope lists the package path prefixes whose compute
+// results feed scores, seeds, fold splits or persisted selections — the
+// packages where the bit-identity contract holds and where the
+// order/time-sensitive analyzers (nondeterm, fpreduce) apply. The
+// listing extends the obvious numeric core with internal/eval (the
+// validity indices PR 4 debugged) and internal/constraints (fold
+// construction: anything nondeterministic there changes every score
+// downstream).
+var deterministicScope = []string{
+	"cvcp/internal/cvcp",
+	"cvcp/internal/cluster",
+	"cvcp/internal/linalg",
+	"cvcp/internal/stats",
+	"cvcp/internal/runner",
+	"cvcp/internal/dist",
+	"cvcp/internal/eval",
+	"cvcp/internal/constraints",
+}
+
+// inDeterministicScope reports whether pkgPath is one of (or nested
+// under) the deterministic packages.
+func inDeterministicScope(pkgPath string) bool {
+	return underAny(pkgPath, deterministicScope)
+}
+
+func underAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply runs the given analyzers over pkg, resolves suppression
+// directives, appends directive-misuse diagnostics, and returns all
+// findings sorted by position. Diagnostics covered by a reasoned
+// //cvcplint:ignore directive come back with Suppressed set rather than
+// dropped, so callers can count or display them.
+func Apply(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	// Overlapping lexical regions (nested critical sections, say) can
+	// yield the same finding twice; report each site once.
+	seen := map[Diagnostic]bool{}
+	uniq := diags[:0]
+	for _, d := range diags {
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	diags = uniq
+	diags = append(diags, applySuppressions(pkg, analyzers, diags)...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ---- shared AST/type helpers ----
+
+// callee resolves the *types.Func a call statically invokes (package
+// function or method), or nil for builtins, conversions and calls
+// through function values.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleePkgPath returns the defining package path of fn, or "" when fn
+// is nil or package-less (error.Error and friends).
+func calleePkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// rootObj resolves the object an assignable expression ultimately
+// refers to: x, x.f and (x) all root at x. Index expressions return nil
+// — indexed writes are per-element and the analyzers treat them
+// separately.
+func rootObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if o := info.ObjectOf(e); o != nil {
+				return o
+			}
+			return nil
+		case *ast.SelectorExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// within reports whether pos lies inside node's extent.
+func within(pos token.Pos, node ast.Node) bool {
+	return node != nil && pos >= node.Pos() && pos <= node.End()
+}
+
+// funcBodies walks every function body in the package's files — one
+// call per declaration and per function literal (nested literals are
+// yielded separately, after their enclosing body). The enclosing
+// *ast.File is passed along for position context.
+func funcBodies(files []*ast.File, fn func(file *ast.File, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(f, d.Body)
+				}
+			case *ast.FuncLit:
+				fn(f, d.Body)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,142 @@
+// Package analysistest runs analyzers over testdata fixture packages
+// and checks their diagnostics against expectations embedded in the
+// fixtures — the x/tools analysistest contract, reimplemented over the
+// in-repo framework.
+//
+// A fixture directory holds one package of ordinary Go files (loaded
+// under a caller-chosen synthetic import path, so scope-sensitive
+// analyzers can be tested both in and out of scope). Expectations are
+// trailing comments:
+//
+//	sum += v // want `float accumulation`
+//
+// Each `want` backquoted argument is a regexp that must match exactly
+// one unsuppressed diagnostic reported on that line; unsuppressed
+// diagnostics with no matching want, and wants with no matching
+// diagnostic, fail the test. Suppressed diagnostics (a
+// //cvcplint:ignore directive in the fixture) must NOT carry a want —
+// the point of a suppression fixture is that nothing surfaces.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cvcp/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want((?: +`[^`]*`)+)")
+
+// Run loads the fixture package in dir under importPath, applies the
+// analyzers, and matches diagnostics against the fixture's want
+// comments.
+func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(ModuleRoot(t))
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(importPath, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	for _, name := range fixtureFiles(t, dir) {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pat := range regexp.MustCompile("`[^`]*`").FindAllString(m[1], -1) {
+				re, err := regexp.Compile(strings.Trim(pat, "`"))
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", name, i+1, pat, err)
+				}
+				wants = append(wants, &want{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+
+	for _, d := range analysis.Apply(pkg, analyzers) {
+		if d.Suppressed {
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) || w.re.MatchString("["+d.Analyzer+"] "+d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// ModuleRoot walks up from the working directory to the enclosing
+// go.mod directory.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func fixtureFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	return files
+}
+
+// Fixture returns the path of a named fixture package under
+// testdata/src relative to the calling test's package directory.
+func Fixture(parts ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, parts...)...)
+}

@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"cvcp/internal/analysis"
+	"cvcp/internal/analysis/analysistest"
+)
+
+// TestDirectiveMisuse checks that suppression directives can never
+// silently rot: a directive without a reason does not suppress and is
+// itself reported, as are directives naming unknown analyzers and
+// directives that suppress nothing. Expectations are programmatic
+// (rather than fixture want comments) because misuse diagnostics land
+// on the directive's own comment line.
+func TestDirectiveMisuse(t *testing.T) {
+	loader, err := analysis.NewLoader(analysistest.ModuleRoot(t))
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir("cvcp/internal/eval/zfixture", analysistest.Fixture("directives"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := analysis.Apply(pkg, analysis.All())
+
+	expect := []struct {
+		analyzer, substr string
+	}{
+		// The reason-less directive is reported and does NOT suppress:
+		// the time.Now finding it sat above must surface too.
+		{"cvcplint", "has no reason"},
+		{"nondeterm", "wall-clock read (time.Now)"},
+		{"cvcplint", `unknown analyzer "nosuchanalyzer"`},
+		{"cvcplint", "unused suppression: no nondeterm diagnostic"},
+	}
+	for _, want := range expect {
+		found := false
+		for _, d := range diags {
+			if !d.Suppressed && d.Analyzer == want.analyzer && strings.Contains(d.Message, want.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no unsuppressed [%s] diagnostic containing %q; got %d diagnostics:", want.analyzer, want.substr, len(diags))
+			for _, d := range diags {
+				t.Logf("  %s: [%s] %s (suppressed=%v)", d.Pos, d.Analyzer, d.Message, d.Suppressed)
+			}
+		}
+	}
+	if len(diags) != len(expect) {
+		t.Errorf("got %d diagnostics, want exactly %d", len(diags), len(expect))
+		for _, d := range diags {
+			t.Logf("  %s: [%s] %s (suppressed=%v)", d.Pos, d.Analyzer, d.Message, d.Suppressed)
+		}
+	}
+}

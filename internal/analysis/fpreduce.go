@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FPReduce flags float reductions whose accumulation order is decided
+// by the scheduler rather than by code: a float accumulated into a
+// captured variable from inside a `go` statement's function literal,
+// or accumulated from channel receives (multiple senders interleave
+// nondeterministically). Float addition is not associative, so either
+// shape produces last-ulp differences between runs — the bug class the
+// engine avoids by having workers write into index-addressed slots and
+// merging left-to-right (see internal/cvcp's CellPlan contract).
+//
+// Scoped to the deterministic packages; a worker pool summing request
+// counters in the server is not a correctness problem.
+var FPReduce = &Analyzer{
+	Name: "fpreduce",
+	Doc:  "flags scheduling-order float reductions (goroutine-shared accumulators, channel-receive sums) in deterministic packages",
+	Run:  runFPReduce,
+}
+
+func runFPReduce(pass *Pass) {
+	if pass.Pkg == nil || !inDeterministicScope(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		// Goroutine-shared accumulators: float compound assignment
+		// inside a FuncLit launched by `go`, into a variable declared
+		// outside that literal.
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				if obj, pos, ok := floatAccumulationOutside(pass.Info, as, lit); ok {
+					pass.Reportf(pos, "float accumulation into captured %q inside a goroutine: reduction order depends on scheduling, and float addition is non-associative; write per-task results into index-addressed slots and merge left-to-right", obj.Name())
+				}
+				return true
+			})
+			return true
+		})
+		// Channel-receive sums: `for v := range ch { sum += v }` and
+		// `sum += <-ch`.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Chan); !ok {
+					return true
+				}
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					if _, ok := m.(*ast.FuncLit); ok {
+						return false
+					}
+					as, ok := m.(*ast.AssignStmt)
+					if !ok {
+						return true
+					}
+					if obj, pos, ok := floatAccumulationOutside(pass.Info, as, n); ok {
+						pass.Reportf(pos, "float accumulation into %q while ranging over a channel: receive order across senders is nondeterministic; collect into index-addressed slots and merge left-to-right", obj.Name())
+					}
+					return true
+				})
+			case *ast.AssignStmt:
+				if !isCompoundFloatAssign(pass.Info, n) {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					if containsChanRecv(rhs) {
+						pass.Reportf(n.Pos(), "float accumulation from a channel receive: receive order across senders is nondeterministic; collect into index-addressed slots and merge left-to-right")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// floatAccumulationOutside matches float compound/self assignment whose
+// target is declared outside node.
+func floatAccumulationOutside(info *types.Info, as *ast.AssignStmt, node ast.Node) (types.Object, token.Pos, bool) {
+	obj, pos, ok := floatAccumTarget(info, as)
+	if !ok || within(obj.Pos(), node) {
+		return nil, 0, false
+	}
+	return obj, pos, true
+}
+
+// floatAccumTarget matches `x += f`, `x -= f`, `x *= f`, `x /= f` and
+// `x = x <op> f` for float x, returning x's object.
+func floatAccumTarget(info *types.Info, as *ast.AssignStmt) (types.Object, token.Pos, bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) != 1 {
+			return nil, 0, false
+		}
+		obj := rootObj(info, as.Lhs[0])
+		if obj != nil && isFloat(info.TypeOf(as.Lhs[0])) {
+			return obj, as.Pos(), true
+		}
+	case token.ASSIGN:
+		if len(as.Lhs) != len(as.Rhs) {
+			return nil, 0, false
+		}
+		for i, lhs := range as.Lhs {
+			obj := rootObj(info, lhs)
+			if obj == nil || !isFloat(info.TypeOf(lhs)) {
+				continue
+			}
+			if exprMentions(info, as.Rhs[i], obj) {
+				return obj, as.Pos(), true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+func isCompoundFloatAssign(info *types.Info, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return len(as.Lhs) == 1 && isFloat(info.TypeOf(as.Lhs[0]))
+	}
+	return false
+}
+
+// containsChanRecv reports whether expr contains a unary channel receive.
+func containsChanRecv(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cvcp/internal/analysis"
+	"cvcp/internal/analysis/analysistest"
+)
+
+// TestFPReduce drives the fpreduce fixture: goroutine-shared float
+// accumulators and channel-receive sums are flagged; index-addressed
+// slots with a left-to-right merge, integer counters and locals pass.
+func TestFPReduce(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("fpreduce"), "cvcp/internal/linalg/zfixture", analysis.FPReduce)
+}
+
+// TestFPReduceOutOfScope: the same fixture under a server-layer path is
+// out of the bit-identity contract; the analyzer must stay silent.
+func TestFPReduceOutOfScope(t *testing.T) {
+	loadClean(t, analysistest.Fixture("fpreduce"), "cvcp/internal/server/zfixture", analysis.FPReduce)
+}

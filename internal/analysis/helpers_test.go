@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cvcp/internal/analysis"
+	"cvcp/internal/analysis/analysistest"
+)
+
+// loadClean loads the fixture in dir under importPath, applies the
+// analyzers, and fails on any diagnostic from them — ignoring the
+// fixture's want comments (which describe a different, in-scope run)
+// and any directive-bookkeeping diagnostics from the cvcplint
+// pseudo-analyzer (a suppression naming an analyzer that stays silent
+// out of scope is reported unused, which is correct but not what this
+// helper checks).
+func loadClean(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(analysistest.ModuleRoot(t))
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(importPath, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	names := map[string]bool{}
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	for _, d := range analysis.Apply(pkg, analyzers) {
+		if names[d.Analyzer] {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+}

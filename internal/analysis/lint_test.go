@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cvcp/internal/analysis"
+	"cvcp/internal/analysis/analysistest"
+)
+
+// TestLintRepoWide is the acceptance gate the lint CI job enforces,
+// run as a plain unit test: the full analyzer suite over every
+// in-module package must report zero unsuppressed diagnostics. New
+// code that trips an analyzer either gets fixed or carries a reasoned
+// //cvcplint:ignore directive — silence is not an option either way,
+// since reason-less and unused directives are themselves findings.
+func TestLintRepoWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the whole module")
+	}
+	loader, err := analysis.NewLoader(analysistest.ModuleRoot(t))
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	suppressed := 0
+	for _, path := range loader.Targets() {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, d := range analysis.Apply(pkg, analysis.All()) {
+			if d.Suppressed {
+				suppressed++
+				continue
+			}
+			t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	t.Logf("repo-wide: %d packages, %d reasoned suppressions", len(loader.Targets()), suppressed)
+}

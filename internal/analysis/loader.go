@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path (or the synthetic path a fixture was loaded under)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// A Loader loads packages for analysis. Imports are resolved through
+// compiler export data produced by a single `go list -deps -export`
+// run, so type-checking a target package never re-checks its
+// dependency graph and the whole thing works offline: the toolchain
+// compiles (or reuses from the build cache) everything the module
+// needs and hands back the export file paths.
+type Loader struct {
+	Fset *token.FileSet
+
+	dir      string               // module root the go list ran in
+	pkgs     map[string]listedPkg // by import path, deps included
+	targets  []string             // in-module, non-test import paths, sorted
+	importer types.Importer
+}
+
+// NewLoader runs `go list` under dir (any directory inside the module)
+// for the given package patterns (default ./...) and prepares an
+// export-data importer covering the patterns and all their
+// dependencies.
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,Standard,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	l := &Loader{
+		Fset: token.NewFileSet(),
+		dir:  dir,
+		pkgs: map[string]listedPkg{},
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		l.pkgs[p.ImportPath] = p
+		if !p.Standard && p.Module != nil {
+			l.targets = append(l.targets, p.ImportPath)
+		}
+	}
+	sort.Strings(l.targets)
+	l.importer = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		p, ok := l.pkgs[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	})
+	return l, nil
+}
+
+// Targets returns the in-module import paths matched by the loader's
+// patterns, sorted.
+func (l *Loader) Targets() []string { return l.targets }
+
+// Load parses and type-checks the named in-module package from source.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	p, ok := l.pkgs[importPath]
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %q not loaded by go list", importPath)
+	}
+	files := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		files[i] = filepath.Join(p.Dir, f)
+	}
+	return l.check(importPath, p.Dir, files)
+}
+
+// LoadDir parses and type-checks every non-test .go file in dir as one
+// package registered under the synthetic import path importPath. Test
+// fixtures under testdata (invisible to go list) load through this;
+// their imports resolve against the loader's export data, so fixtures
+// may import both the standard library and in-module packages.
+func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(importPath, dir, files)
+}
+
+func (l *Loader) check(importPath, dir string, files []string) (*Package, error) {
+	pkg := &Package{Path: importPath, Dir: dir, Fset: l.Fset}
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.importer,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, pkg.Files, pkg.Info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

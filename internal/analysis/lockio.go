@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockIO flags I/O performed while lexically inside a
+// mu.Lock()…mu.Unlock() critical section: calls to methods of
+// cvcp/internal/store types (Store and EventLog above all), file
+// fsyncs, and network writes. This is the PR 3/5 hardening class — the
+// manager once persisted records under its mutex, serializing every
+// HTTP handler behind disk latency; the repaired discipline (reserve
+// state under the lock, do I/O outside, publish after) is what this
+// analyzer keeps repaired.
+//
+// The critical section is tracked lexically within one function body:
+// from a Lock()/RLock() call on a sync.Mutex/RWMutex to the matching
+// Unlock()/RUnlock() in the same statement list, or to the end of the
+// function when the unlock is deferred. Function literals launched with
+// `go` inside the section run on their own goroutine and are skipped;
+// other nested literals (deferred or called inline) stay in scope.
+//
+// internal/store itself is exempt: serializing its own WAL appends and
+// fsyncs under its own mutex is that package's documented design — the
+// contract this analyzer enforces is that *callers* of the store never
+// hold their locks across its I/O.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "flags store calls, fsyncs and network writes inside mutex critical sections (outside internal/store)",
+	Run:  runLockIO,
+}
+
+const storePkgPath = "cvcp/internal/store"
+
+func runLockIO(pass *Pass) {
+	if pass.Pkg != nil && underAny(pass.Pkg.Path(), []string{storePkgPath}) {
+		return
+	}
+	funcBodies(pass.Files, func(_ *ast.File, body *ast.BlockStmt) {
+		checkLockRegions(pass, body, body)
+	})
+}
+
+// checkLockRegions scans one statement block of body for critical
+// sections and recurses into nested blocks. Only the top-level call
+// passes body == block; the function end used for deferred unlocks is
+// always the enclosing body's.
+func checkLockRegions(pass *Pass, body, block *ast.BlockStmt) {
+	list := block.List
+	for i, stmt := range list {
+		recv, locked := lockCall(pass.Info, stmt)
+		if !locked {
+			// Recurse into compound statements so sections opened in
+			// nested blocks (if bodies, loops) are tracked there.
+			continue
+		}
+		// Find the region end: a matching unlock later in this list, or
+		// the function end when the very lock is followed by a defer of
+		// the unlock (the deferred-unlock idiom), or the block end.
+		end := block.End()
+		deferred := false
+		for j := i + 1; j < len(list); j++ {
+			if isDeferredUnlock(pass.Info, list[j], recv) {
+				deferred = true
+				break
+			}
+			if isUnlockStmt(pass.Info, list[j], recv) {
+				end = list[j].Pos()
+				break
+			}
+		}
+		if deferred {
+			end = body.End()
+		}
+		for j := i + 1; j < len(list); j++ {
+			if list[j].Pos() >= end {
+				break
+			}
+			flagIOInStmt(pass, list[j])
+		}
+		if deferred {
+			// The lock outlives this block: everything after it in the
+			// function body is also under the lock. Lexical scan of the
+			// remaining sibling statements of every enclosing block is
+			// approximated by the common case — the deferred unlock
+			// guards the rest of this block, which in this repo's idiom
+			// is the rest of the function.
+			continue
+		}
+	}
+	// Recurse into every nested block regardless, so independent
+	// sections inside branches are found.
+	for _, stmt := range list {
+		if _, locked := lockCall(pass.Info, stmt); locked {
+			continue
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkLockRegions(pass, body, n)
+				return false
+			case *ast.FuncLit:
+				return false // has its own funcBodies visit
+			}
+			return true
+		})
+	}
+}
+
+// lockCall reports whether stmt is `<recv>.Lock()` or `<recv>.RLock()`
+// on a sync mutex, returning the receiver expression rendering used to
+// match the unlock.
+func lockCall(info *types.Info, stmt ast.Stmt) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	return mutexMethod(info, es.X, "Lock", "RLock")
+}
+
+func isUnlockStmt(info *types.Info, stmt ast.Stmt, recv string) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	r, ok := mutexMethod(info, es.X, "Unlock", "RUnlock")
+	return ok && r == recv
+}
+
+func isDeferredUnlock(info *types.Info, stmt ast.Stmt, recv string) bool {
+	ds, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	r, ok := mutexMethod(info, ds.Call, "Unlock", "RUnlock")
+	return ok && r == recv
+}
+
+// mutexMethod matches expr against `<recv>.<name>()` for the given
+// method names on sync.Mutex/RWMutex (directly or promoted through
+// embedding), returning the receiver's source rendering.
+func mutexMethod(info *types.Info, expr ast.Expr, names ...string) (string, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return types.ExprString(sel.X), true
+		}
+	}
+	return "", false
+}
+
+// flagIOInStmt reports store/fsync/network calls lexically within stmt,
+// skipping goroutine bodies (they escape the lock).
+func flagIOInStmt(pass *Pass, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if kind, detail := ioCall(pass.Info, n); kind != "" {
+				pass.Reportf(n.Pos(), "%s (%s) inside a mutex critical section: reserve state under the lock, perform I/O outside, publish after (the PR 3/5 hardening discipline)", kind, detail)
+			}
+		}
+		return true
+	})
+}
+
+// ioCall classifies a call as store I/O, fsync or network write.
+func ioCall(info *types.Info, call *ast.CallExpr) (kind, detail string) {
+	fn := callee(info, call)
+	if fn == nil {
+		return "", ""
+	}
+	pkg := calleePkgPath(fn)
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch {
+	case pkg == storePkgPath && isMethod:
+		return "store I/O", "store." + name
+	case pkg == "os" && isMethod && name == "Sync":
+		return "fsync", "(*os.File).Sync"
+	case pkg == "syscall" && (name == "Fsync" || name == "Fdatasync"):
+		return "fsync", "syscall." + name
+	case (pkg == "net" || pkg == "net/http") && isMethod &&
+		(name == "Write" || name == "WriteString" || name == "ReadFrom" || name == "Flush" || name == "FlushError"):
+		return "network write", pkg + " " + name
+	}
+	return "", ""
+}

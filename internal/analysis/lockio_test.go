@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cvcp/internal/analysis"
+	"cvcp/internal/analysis/analysistest"
+)
+
+// TestLockIO drives the lockio fixture: store I/O, fsyncs and network
+// writes inside critical sections (including the deferred-unlock idiom)
+// are flagged; the reserve/IO-outside/publish discipline, goroutine
+// escapes and separate sections pass.
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("lockio"), "cvcp/internal/server/zfixture", analysis.LockIO)
+}
+
+// TestLockIOStoreExempt: the same WAL-append-under-own-mutex shape
+// inside internal/store is that package's documented design and must
+// not be flagged.
+func TestLockIOStoreExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("lockio_store"), "cvcp/internal/store/zfixture", analysis.LockIO)
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` statements over maps whose bodies do something
+// that Go's randomized map iteration order can change: accumulate
+// floats (non-associative — the exact last-ulp bug PR 4 found in three
+// validity indices), write output, derive seeds, or collect values into
+// a slice that is never sorted afterwards. The one blessed shape is the
+// collector: a loop that only appends keys/values to a slice which a
+// later statement in the same block sorts — that is how sortedIDs-style
+// helpers restore determinism, and it passes clean.
+//
+// The check runs on every package: map-order-dependent output is a
+// determinism bug in the numeric core and a flaky-scrape/flaky-API bug
+// everywhere else.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags map iteration whose body's result depends on the randomized order (float sums, output, seeds, unsorted collection)",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for _, stmt := range list {
+				inner := stmt
+				if ls, ok := inner.(*ast.LabeledStmt); ok {
+					inner = ls.Stmt
+				}
+				rng, ok := inner.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				if t := pass.Info.TypeOf(rng.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRangeBody(pass, list, stmt, rng)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRangeBody reports order-dependent behavior inside one
+// map-range loop. list is the statement list directly containing the
+// loop (via outer, which may be a wrapping LabeledStmt) — the region
+// searched for the collector exemption's later sort call.
+func checkMapRangeBody(pass *Pass, list []ast.Stmt, outer ast.Stmt, rng *ast.RangeStmt) {
+	var appendTargets []types.Object
+	reported := map[string]bool{}
+	report := func(pos token.Pos, class, format string, args ...any) {
+		if reported[class] {
+			return
+		}
+		reported[class] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own blocks are visited by the outer walk
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if obj, pos, ok := floatAccumulation(pass.Info, n, rng); ok {
+				report(pos, "float",
+					"map iteration order is randomized: float accumulation into %q makes the result depend on it (float addition is non-associative); iterate sorted keys instead", obj.Name())
+				return true
+			}
+			if obj := appendTarget(pass.Info, n, rng); obj != nil {
+				appendTargets = append(appendTargets, obj)
+			}
+		case *ast.CallExpr:
+			fn := callee(pass.Info, n)
+			switch {
+			case emitsOutput(fn):
+				report(n.Pos(), "output",
+					"map iteration order is randomized: output emitted inside the loop depends on it; iterate sorted keys instead")
+			case derivesSeed(fn):
+				report(n.Pos(), "seed",
+					"map iteration order is randomized: seed material derived inside the loop depends on it; iterate sorted keys instead")
+			}
+		}
+		return true
+	})
+
+	// Collector loops are fine only when every collected slice is
+	// sorted later in the same block (the sortedIDs shape).
+	for _, obj := range appendTargets {
+		if !sortedAfter(pass.Info, list, outer, obj) {
+			report(rng.Pos(), "append-"+obj.Name(),
+				"values collected from a map range into %q are never sorted in this block; sort them (or range over sorted keys) before use", obj.Name())
+		}
+	}
+}
+
+// floatAccumulation reports whether n accumulates a float into a
+// variable declared outside the range statement: s += x, s -= x,
+// s *= x, s /= x, or s = s <op> x.
+func floatAccumulation(info *types.Info, n *ast.AssignStmt, rng *ast.RangeStmt) (types.Object, token.Pos, bool) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(n.Lhs) != 1 {
+			return nil, 0, false
+		}
+		obj := rootObj(info, n.Lhs[0])
+		if obj != nil && isFloat(info.TypeOf(n.Lhs[0])) && !within(obj.Pos(), rng) {
+			return obj, n.Pos(), true
+		}
+	case token.ASSIGN:
+		if len(n.Lhs) != len(n.Rhs) {
+			return nil, 0, false
+		}
+		for i, lhs := range n.Lhs {
+			obj := rootObj(info, lhs)
+			if obj == nil || !isFloat(info.TypeOf(lhs)) || within(obj.Pos(), rng) {
+				continue
+			}
+			if exprMentions(info, n.Rhs[i], obj) {
+				return obj, n.Pos(), true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// appendTarget returns the outer-declared slice object when n has the
+// shape `s = append(s, ...)`, else nil.
+func appendTarget(info *types.Info, n *ast.AssignStmt, rng *ast.RangeStmt) types.Object {
+	if (n.Tok != token.ASSIGN && n.Tok != token.DEFINE) || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	obj := rootObj(info, n.Lhs[0])
+	if obj == nil || within(obj.Pos(), rng) {
+		return nil
+	}
+	return obj
+}
+
+// exprMentions reports whether expr references obj.
+func exprMentions(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// emitsOutput reports whether fn writes somewhere a reader can see
+// ordering: the fmt print family, or Write*/Encode methods (io.Writer,
+// strings.Builder, json.Encoder, ...).
+func emitsOutput(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if calleePkgPath(fn) == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return true
+		}
+	}
+	return false
+}
+
+// derivesSeed reports whether fn turns its inputs into seed material:
+// math/rand sources or anything whose name says Seed.
+func derivesSeed(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	pkg := calleePkgPath(fn)
+	if (pkg == "math/rand" || pkg == "math/rand/v2") && (fn.Name() == "NewSource" || fn.Name() == "New") {
+		return true
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "seed")
+}
+
+// sortedAfter reports whether a statement after outer in list sorts
+// obj: a call into package sort or slices with obj among the
+// arguments.
+func sortedAfter(info *types.Info, list []ast.Stmt, outer ast.Stmt, obj types.Object) bool {
+	after := false
+	for _, stmt := range list {
+		if stmt == outer {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		sorted := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg := calleePkgPath(callee(info, call))
+			if pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if exprMentions(info, arg, obj) {
+					sorted = true
+				}
+			}
+			return !sorted
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}

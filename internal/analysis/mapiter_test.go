@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cvcp/internal/analysis"
+	"cvcp/internal/analysis/analysistest"
+)
+
+// TestMapIter drives the mapiter fixture, which includes the exact PR 4
+// validity-index bug shape (daviesBouldinPreFix) — reverting that fix
+// class must trip the gate — alongside the repaired shapes, the sorted
+// collector exemption, and a reasoned suppression.
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("mapiter"), "cvcp/internal/eval/zfixture", analysis.MapIter)
+}
+
+// TestMapIterRunsEverywhere: mapiter is not scope-gated — the same
+// fixture under a server-layer path reports the same findings.
+func TestMapIterRunsEverywhere(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("mapiter"), "cvcp/internal/server/zfixture", analysis.MapIter)
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MetricReg flags internal/metrics family registration — NewCounter,
+// NewCounterVec, NewGauge, NewHistogram — anywhere other than a
+// package-level var declaration or an init function. The default
+// registry panics on duplicate names by design (a collision is a
+// programming error no scrape should paper over), which makes runtime
+// registration a latent crash: the second request, job or retry that
+// reaches the registering code path brings the process down.
+var MetricReg = &Analyzer{
+	Name: "metricreg",
+	Doc:  "restricts internal/metrics family registration to package-level var blocks and init functions",
+	Run:  runMetricReg,
+}
+
+const metricsPkgPath = "cvcp/internal/metrics"
+
+func runMetricReg(pass *Pass) {
+	for _, f := range pass.Files {
+		// Allowed regions: package-level var specs and init bodies.
+		var allowed []ast.Node
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok == token.VAR {
+					allowed = append(allowed, d)
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.Name == "init" {
+					allowed = append(allowed, d)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.Info, call)
+			if fn == nil || calleePkgPath(fn) != metricsPkgPath || !strings.HasPrefix(fn.Name(), "New") {
+				return true
+			}
+			switch fn.Name() {
+			case "NewCounter", "NewCounterVec", "NewGauge", "NewHistogram":
+			default:
+				return true
+			}
+			for _, region := range allowed {
+				if within(call.Pos(), region) {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "metrics.%s outside a package-level var block or init: duplicate runtime registration panics the process; declare metric families once, at package init", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cvcp/internal/analysis"
+	"cvcp/internal/analysis/analysistest"
+)
+
+// TestMetricReg drives the metricreg fixture: family registration in
+// package-level var blocks and init passes; registration on a request
+// or method path — a latent duplicate-name panic — is flagged.
+func TestMetricReg(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("metricreg"), "cvcp/internal/server/zfixture", analysis.MetricReg)
+}

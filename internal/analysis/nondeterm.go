@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NonDeterm forbids ambient-state reads — wall-clock time, the
+// process-global math/rand source, environment variables — inside the
+// deterministic packages, where every value that feeds a score, a seed
+// or a fold split must be a pure function of the job spec. Wall-clock
+// is fine in the server and store layers; in the compute core it is a
+// reproducibility bug by construction (a restart, a replay or a second
+// worker node would see different values).
+//
+// Seeded randomness stays legal: rand.New(rand.NewSource(seed)) and
+// every method on an explicit *rand.Rand pass; only the package-level
+// convenience functions, which draw from the shared unseeded source,
+// are flagged.
+//
+// The few legitimate observability sites inside scoped packages (timing
+// a limiter wait, stamping a lease TTL) carry //cvcplint:ignore
+// directives with their reasons — values that are measured but never
+// fed into a score or seed.
+var NonDeterm = &Analyzer{
+	Name: "nondeterm",
+	Doc:  "forbids time.Now, unseeded math/rand and os.Getenv in the deterministic packages",
+	Run:  runNonDeterm,
+}
+
+func runNonDeterm(pass *Pass) {
+	if pass.Pkg == nil || !inDeterministicScope(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			name := fn.Name()
+			switch calleePkgPath(fn) {
+			case "time":
+				switch name {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(), "wall-clock read (time.%s) in deterministic package %s: results must be pure functions of the spec and seed", name, pass.Pkg.Path())
+				}
+			case "os":
+				switch name {
+				case "Getenv", "LookupEnv", "Environ":
+					pass.Reportf(call.Pos(), "environment read (os.%s) in deterministic package %s: configuration must arrive through the spec, not ambient state", name, pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				sig, ok := fn.Type().(*types.Signature)
+				if ok && sig.Recv() == nil && !randConstructor(name) {
+					pass.Reportf(call.Pos(), "unseeded randomness (rand.%s draws from the process-global source) in deterministic package %s: use rand.New(rand.NewSource(seed))", name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// randConstructor lists the math/rand functions that construct explicit
+// sources or generators rather than drawing from the global one.
+func randConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cvcp/internal/analysis"
+	"cvcp/internal/analysis/analysistest"
+)
+
+// TestNonDeterm loads the fixture under a deterministic-scope path:
+// ambient reads are flagged, seeded randomness and timers pass.
+func TestNonDeterm(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("nondeterm"), "cvcp/internal/stats/zfixture", analysis.NonDeterm)
+}
+
+// TestNonDetermOutOfScope loads a fixture full of wall-clock and env
+// reads under a server-layer path; the analyzer must stay silent.
+func TestNonDetermOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("nondeterm_out"), "cvcp/internal/server/zfixture", analysis.NonDeterm)
+}

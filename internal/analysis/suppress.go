@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix is the suppression directive marker. A directive has
+// the form
+//
+//	//cvcplint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// and suppresses the named analyzers' diagnostics on the directive's
+// own line (trailing comment) or on the line immediately below it
+// (standalone comment above the flagged statement). The reason is
+// mandatory — a directive without one, or naming an unknown analyzer,
+// or suppressing nothing, is itself reported, so suppressions can never
+// silently rot.
+const DirectivePrefix = "//cvcplint:ignore"
+
+// DirectiveAnalyzerName attributes directive-misuse diagnostics; it is
+// not a suppressible analyzer.
+const DirectiveAnalyzerName = "cvcplint"
+
+type directive struct {
+	pos    token.Pos
+	file   string
+	line   int
+	names  []string
+	reason string
+	used   bool
+}
+
+// applySuppressions marks diagnostics covered by a valid directive as
+// Suppressed (in place) and returns directive-misuse diagnostics to be
+// appended: missing reason, unknown analyzer name, or a directive that
+// suppressed nothing among the analyzers that actually ran.
+func applySuppressions(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	var dirs []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				d := &directive{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+				if len(fields) > 0 {
+					d.names = strings.Split(fields[0], ",")
+					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	if len(dirs) == 0 {
+		return nil
+	}
+
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	valid := make([]*directive, 0, len(dirs))
+	var extra []Diagnostic
+	for _, d := range dirs {
+		if len(d.names) == 0 || d.names[0] == "" {
+			extra = append(extra, misuse(pkg, d.pos, "directive names no analyzer: %s", DirectivePrefix+" <analyzer> <reason>"))
+			continue
+		}
+		if d.reason == "" {
+			extra = append(extra, misuse(pkg, d.pos, "suppression of %q has no reason; every directive must say why the contract does not apply", strings.Join(d.names, ",")))
+			continue
+		}
+		valid = append(valid, d)
+	}
+
+	for i := range diags {
+		dg := &diags[i]
+		for _, d := range valid {
+			if d.file != dg.Pos.Filename {
+				continue
+			}
+			if dg.Pos.Line != d.line && dg.Pos.Line != d.line+1 {
+				continue
+			}
+			for _, n := range d.names {
+				if n == dg.Analyzer {
+					dg.Suppressed = true
+					d.used = true
+				}
+			}
+		}
+	}
+
+	// Names are validated against the full suite (not just the
+	// analyzers in this run, which per-analyzer tests narrow to one);
+	// the unused check conversely only fires when every named analyzer
+	// actually ran, since otherwise the directive may serve an absent
+	// one.
+	suite := map[string]bool{}
+	for _, a := range All() {
+		suite[a.Name] = true
+	}
+	for _, d := range valid {
+		ok := true
+		for _, n := range d.names {
+			if !suite[n] {
+				extra = append(extra, misuse(pkg, d.pos, "directive names unknown analyzer %q", n))
+				ok = false
+			}
+		}
+		if !ok || d.used || !allKnown(d.names, known) {
+			continue
+		}
+		extra = append(extra, misuse(pkg, d.pos, "unused suppression: no %s diagnostic on this or the next line", strings.Join(d.names, ",")))
+	}
+	return extra
+}
+
+func allKnown(names []string, known map[string]bool) bool {
+	for _, n := range names {
+		if !known[n] {
+			return false
+		}
+	}
+	return true
+}
+
+func misuse(pkg *Package, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: DirectiveAnalyzerName,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

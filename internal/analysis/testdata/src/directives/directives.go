@@ -1,0 +1,24 @@
+// Package fixture exercises directive misuse: a suppression without a
+// reason, an unknown analyzer name, and a directive that suppresses
+// nothing are all findings themselves. Expectations live in the
+// directives unit test (TestDirectiveMisuse), not in want comments —
+// misuse diagnostics land on the directive's own line, where a comment
+// can't carry a second trailing comment.
+package fixture
+
+import "time"
+
+func missingReason() int64 {
+	//cvcplint:ignore nondeterm
+	return time.Now().UnixNano()
+}
+
+func unknownAnalyzer() int64 {
+	//cvcplint:ignore nosuchanalyzer some reason
+	return 0
+}
+
+func unusedDirective() int64 {
+	//cvcplint:ignore nondeterm this line is perfectly deterministic
+	return 42
+}

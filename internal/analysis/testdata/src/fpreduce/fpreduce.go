@@ -1,0 +1,92 @@
+// Package fixture exercises the fpreduce analyzer: float reductions
+// whose accumulation order the scheduler decides.
+package fixture
+
+import "sync"
+
+// sharedAccumulator is the classic racy reduction: worker goroutines
+// folding into one float. Even with the mutex the arrival order — and
+// with float non-associativity, the result bits — depend on scheduling.
+func sharedAccumulator(parts [][]float64) float64 {
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sum float64
+	)
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []float64) {
+			defer wg.Done()
+			var local float64
+			for _, v := range p {
+				local += v
+			}
+			mu.Lock()
+			sum += local // want `float accumulation into captured "sum" inside a goroutine`
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return sum
+}
+
+// channelRangeSum receives partials in whatever order senders land.
+func channelRangeSum(ch chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		sum += v // want `float accumulation into "sum" while ranging over a channel`
+	}
+	return sum
+}
+
+// channelRecvSum is the unary-receive variant.
+func channelRecvSum(ch chan float64, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += <-ch // want `float accumulation from a channel receive`
+	}
+	return sum
+}
+
+// indexAddressedSlots is the engine's repaired discipline: each task
+// writes its own slot, the merge is a deterministic left-to-right scan.
+func indexAddressedSlots(parts [][]float64) float64 {
+	var wg sync.WaitGroup
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p []float64) {
+			defer wg.Done()
+			var local float64
+			for _, v := range p {
+				local += v
+			}
+			out[i] = local
+		}(i, p)
+	}
+	wg.Wait()
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// intCounter: integer accumulation is associative; not flagged.
+func intCounter(ch chan int) int {
+	var n int
+	for v := range ch {
+		n += v
+	}
+	return n
+}
+
+// suppressed demonstrates the reasoned escape hatch.
+func suppressed(ch chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		//cvcplint:ignore fpreduce fixture: diagnostic sum only, never compared bit-for-bit
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,100 @@
+// Package fixture exercises the lockio analyzer: store I/O, fsyncs and
+// network writes lexically inside mutex critical sections.
+package fixture
+
+import (
+	"net"
+	"os"
+	"sync"
+
+	"cvcp/internal/store"
+)
+
+type manager struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	st store.Store
+}
+
+// putUnderLock is the PR 3 bug shape: a record persisted while the
+// manager mutex serializes every other caller behind disk latency.
+func (m *manager) putUnderLock(rec store.Record) {
+	m.mu.Lock()
+	_ = m.st.Put(rec) // want `store I/O \(store.Put\) inside a mutex critical section`
+	m.mu.Unlock()
+}
+
+// putUnderDeferredLock is the same bug with the deferred-unlock idiom:
+// the lock is held to function end, so everything below is inside.
+func (m *manager) putUnderDeferredLock(rec store.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st.Put(rec) // want `store I/O \(store.Put\) inside a mutex critical section`
+}
+
+// eventsUnderRLock: read locks serialize writers all the same.
+func (m *manager) eventsUnderRLock(id string) ([]store.Event, error) {
+	m.rw.RLock()
+	defer m.rw.RUnlock()
+	return m.st.EventsSince(id, 0) // want `store I/O \(store.EventsSince\) inside a mutex critical section`
+}
+
+// fsyncUnderLock: the PR 5 hardening class — an fsync on the critical
+// path of everything the mutex guards.
+func (m *manager) fsyncUnderLock(f *os.File) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_ = f.Sync() // want `fsync \(\(\*os.File\).Sync\) inside a mutex critical section`
+}
+
+// netWriteUnderLock: a slow peer stalls every other caller.
+func (m *manager) netWriteUnderLock(c net.Conn, b []byte) {
+	m.mu.Lock()
+	_, _ = c.Write(b) // want `network write \(net Write\) inside a mutex critical section`
+	m.mu.Unlock()
+}
+
+// putOutsideLock is the repaired discipline: reserve under the lock,
+// persist outside, publish after.
+func (m *manager) putOutsideLock(rec store.Record) {
+	m.mu.Lock()
+	pending := rec
+	m.mu.Unlock()
+	_ = m.st.Put(pending)
+	m.mu.Lock()
+	m.publishLocked()
+	m.mu.Unlock()
+}
+
+func (m *manager) publishLocked() {}
+
+// goroutineEscapesLock: the literal runs on its own goroutine and takes
+// its own locks; its body is not inside this critical section.
+func (m *manager) goroutineEscapesLock(rec store.Record) {
+	m.mu.Lock()
+	go func() {
+		_ = m.st.Put(rec)
+	}()
+	m.mu.Unlock()
+}
+
+// separateSections: a second lock after the first unlock opens a new
+// region; I/O between the two is free.
+func (m *manager) separateSections(rec store.Record) {
+	m.mu.Lock()
+	m.publishLocked()
+	m.mu.Unlock()
+	_ = m.st.Put(rec)
+	m.mu.Lock()
+	m.publishLocked()
+	m.mu.Unlock()
+}
+
+// suppressed demonstrates the reasoned escape hatch — a dedicated
+// mutex whose entire purpose is serializing one write.
+func (m *manager) suppressed(rec store.Record) {
+	m.mu.Lock()
+	//cvcplint:ignore lockio fixture: this mutex exists to serialize exactly this write
+	_ = m.st.Put(rec)
+	m.mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// Package fixture proves lockio's store exemption: loaded under a
+// cvcp/internal/store path, where serializing the WAL append and fsync
+// under the store's own mutex is the documented design. Nothing is
+// wanted.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+type wal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (w *wal) append(b []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}

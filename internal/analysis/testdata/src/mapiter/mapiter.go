@@ -1,0 +1,152 @@
+// Package fixture exercises the mapiter analyzer: map-range bodies
+// whose effect depends on Go's randomized iteration order.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// daviesBouldinPreFix mirrors the exact PR 4 bug shape: the validity
+// indices summed float distances while ranging over the cluster-members
+// map, so scores differed in the last ulp from run to run. Reverting
+// the sorted-iteration fix in any index must trip the lint gate — this
+// is that shape.
+func daviesBouldinPreFix(members map[int][]int, dist func(int) float64) float64 {
+	var total float64
+	for _, idx := range members {
+		var s float64
+		for _, i := range idx {
+			s = s + dist(i)
+		}
+		total += s // want `float accumulation into "total"`
+	}
+	return total
+}
+
+// daviesBouldinPostFix is the repaired shape: iterate ids sorted, then
+// index the map — order is pinned, nothing to flag.
+func daviesBouldinPostFix(members map[int][]int, dist func(int) float64) float64 {
+	ids := make([]int, 0, len(members))
+	for l := range members {
+		ids = append(ids, l)
+	}
+	sort.Ints(ids)
+	var total float64
+	for _, l := range ids {
+		for _, i := range members[l] {
+			total += dist(i)
+		}
+	}
+	return total
+}
+
+func compoundAssign(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into "sum"`
+	}
+	return sum
+}
+
+func unsortedCollector(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collected from a map range into "keys" are never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedCollectorSlices(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func output(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `output emitted inside the loop`
+	}
+}
+
+func builderOutput(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `output emitted inside the loop`
+	}
+	return b.String()
+}
+
+func seedDerivation(m map[int]int64) int64 {
+	var last int64
+	for _, seed := range m {
+		r := rand.New(rand.NewSource(seed)) // want `seed material derived inside the loop`
+		last ^= r.Int63()
+	}
+	return last
+}
+
+// perKeyWrites are order-independent: each iteration touches only its
+// own key.
+func perKeyWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// intCounting is order-independent.
+func intCounting(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// localFloatPerIteration declares its accumulator inside the loop: each
+// iteration's value is independent of order.
+func localFloatPerIteration(m map[int][]float64) map[int]float64 {
+	out := map[int]float64{}
+	for k, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// suppressed demonstrates the escape hatch: the directive must name the
+// analyzer and carry a reason, and then nothing surfaces.
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//cvcplint:ignore mapiter fixture: demonstrating a reasoned suppression of an order-dependent sum
+		sum += v
+	}
+	return sum
+}
+
+// nestedBlockCollector sorts inside the same inner block: clean.
+func nestedBlockCollector(cond bool, m map[string]int) []string {
+	if cond {
+		var keys []string
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+// Package fixture exercises the metricreg analyzer: metric family
+// registration is an init-time act; at runtime it panics on the second
+// registration of a name.
+package fixture
+
+import "cvcp/internal/metrics"
+
+// Package-level var block: the blessed shape.
+var (
+	mGood = metrics.NewCounter("fixture_good_total", "Registered at package init.")
+	mVec  = metrics.NewCounterVec("fixture_vec_total", "Registered at package init.", "reason")
+)
+
+var mGauge = metrics.NewGauge("fixture_gauge", "Registered at package init.")
+
+// init functions are also init time.
+var mHist *metrics.Histogram
+
+func init() {
+	mHist = metrics.NewHistogram("fixture_hist", "Registered in init.", metrics.DurationBuckets)
+}
+
+// handler registers on the request path: the second call panics.
+func handler() *metrics.Counter {
+	return metrics.NewCounter("fixture_runtime_total", "Registered per call.") // want `metrics.NewCounter outside a package-level var block or init`
+}
+
+type server struct{}
+
+func (server) setup() {
+	_ = metrics.NewGauge("fixture_method_gauge", "Registered in a method.") // want `metrics.NewGauge outside a package-level var block or init`
+}
+
+// use keeps the lint fixtures honest about the vars above.
+func use() {
+	mGood.Inc()
+	mVec.With("x").Inc()
+	mGauge.Set(1)
+	mHist.Observe(1)
+}
+
+// suppressed demonstrates the reasoned escape hatch: a test-only
+// constructor that guarantees single registration by other means.
+func suppressed(name string) *metrics.Counter {
+	//cvcplint:ignore metricreg fixture: caller guarantees a process-unique name
+	return metrics.NewCounter(name, "Suppressed runtime registration.")
+}

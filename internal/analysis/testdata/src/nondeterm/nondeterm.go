@@ -1,0 +1,50 @@
+// Package fixture exercises the nondeterm analyzer inside a
+// deterministic-scope package path: ambient-state reads are banned,
+// seeded randomness is fine.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `wall-clock read \(time.Now\)`
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `wall-clock read \(time.Since\)`
+}
+
+func env() string {
+	return os.Getenv("CVCP_MODE") // want `environment read \(os.Getenv\)`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `unseeded randomness \(rand.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `unseeded randomness \(rand.Shuffle`
+}
+
+// seededRand is the blessed pattern: an explicit source from an
+// explicit seed, methods on the resulting generator.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// timers are event plumbing, not value sources: not flagged.
+func timer(d time.Duration) *time.Ticker {
+	return time.NewTicker(d)
+}
+
+// suppressed demonstrates the reasoned escape hatch for observability
+// reads that never feed a score or seed.
+func suppressed() int64 {
+	//cvcplint:ignore nondeterm fixture: timing metric only, never feeds a score or seed
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,17 @@
+// Package fixture proves nondeterm's scope: the same ambient reads in
+// a server-layer package path are legal (wall-clock is fine outside the
+// deterministic core), so this fixture wants nothing.
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func env() string {
+	return os.Getenv("CVCP_MODE")
+}

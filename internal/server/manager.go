@@ -351,6 +351,7 @@ func (m *Manager) applyEviction(evicted []string, writeMeta bool) {
 		m.mu.Lock()
 		spec, _ := json.Marshal(metaRecord{NextID: m.nextID, NextBatch: m.nextBatch})
 		m.mu.Unlock()
+		//cvcplint:ignore lockio metaMu exists to serialize exactly this meta write (last writer must persist a covering value); the manager's hot mutex m.mu is released above
 		_ = m.store.Put(store.Record{ID: metaID, Status: "meta", Spec: spec})
 		m.metaMu.Unlock()
 	}
