@@ -20,6 +20,18 @@
 // a relative validity index (silhouette, davies-bouldin, calinski-harabasz,
 // dunn).
 //
+// Incremental re-selection — -dataset-dir replays a directory of encoded
+// row-batch files (cmd/datagen -append output, lexical file order) as a
+// growing versioned dataset, scores it with append-stable folds, and keeps
+// a persistent cell cache next to the batches; re-running after new
+// batches arrive recomputes only the folds the appended rows dirtied, with
+// a result bit-identical to a from-scratch run:
+//
+//	datagen -append -out ./growth -batches 3
+//	cvcp -dataset-dir ./growth -algo fosc -labelfrac 0.5 -folds 2
+//	datagen -append -out ./growth -batches 1 -batch0 3
+//	cvcp -dataset-dir ./growth -algo fosc -labelfrac 0.5 -folds 2  # reuses clean folds
+//
 // The tool prints the per-parameter scores of every candidate, the selected
 // method and parameter, and the final cluster assignment (one
 // "object cluster" line per object; -1 is noise).
@@ -33,14 +45,21 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	root "cvcp"
+	corecvcp "cvcp/internal/cvcp"
+	"cvcp/internal/dataset"
+	"cvcp/internal/runner"
+	"cvcp/internal/store"
 )
 
 func main() {
 	var (
-		data     = flag.String("data", "", "CSV dataset path (required)")
+		data     = flag.String("data", "", "CSV dataset path (required unless -dataset-dir)")
+		dsetDir  = flag.String("dataset-dir", "", "directory of row-batch files (*.rowbatch, lexical order): incremental re-selection with a persistent cell cache in <dir>/cellcache")
 		labeled  = flag.Bool("labeled", false, "last CSV column is an integer class label")
 		algo     = flag.String("algo", "fosc", "comma-separated candidate algorithms: fosc (MinPts selection), mpck and/or copk (k selection)")
 		scorer   = flag.String("scorer", "cv", "scoring strategy: cv, bootstrap, or a validity index (silhouette, davies-bouldin, calinski-harabasz, dunn)")
@@ -58,7 +77,8 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the per-object assignment output")
 	)
 	flag.Parse()
-	if *data == "" {
+	if (*data == "") == (*dsetDir == "") {
+		fmt.Fprintln(os.Stderr, "cvcp: exactly one of -data and -dataset-dir is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -72,14 +92,44 @@ func main() {
 	if explicit["rounds"] && *scorer != "bootstrap" {
 		fatal(fmt.Errorf("-rounds requires -scorer bootstrap"))
 	}
+	if *dsetDir != "" {
+		// The incremental path is exactly the server's dataset-job shape:
+		// stable-fold cross-validation over labeled row batches. Options
+		// that contradict it are errors, like everywhere else.
+		if *scorer != "cv" {
+			fatal(fmt.Errorf("-dataset-dir requires the cross-validation scorer (-scorer cv): cached cell scores are fold scores"))
+		}
+		if *consPath != "" {
+			fatal(fmt.Errorf("-dataset-dir selections take Scenario I supervision from the batch labels, not -constraints"))
+		}
+		if explicit["labeled"] {
+			fatal(fmt.Errorf("-labeled is implied by -dataset-dir (row batches declare their label layout)"))
+		}
+	}
 
 	// Ctrl-C abandons the selection mid-grid instead of waiting it out.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	ds, err := root.LoadCSV(*data, *data, *labeled)
-	if err != nil {
-		fatal(err)
+	var (
+		ds        *root.Dataset
+		cellCache *runner.ScoreCache
+		cellStats *corecvcp.CellStats
+		err       error
+	)
+	if *dsetDir != "" {
+		var closeCache func()
+		ds, cellCache, closeCache, err = openDatasetDir(*dsetDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeCache()
+		cellStats = &corecvcp.CellStats{}
+	} else {
+		ds, err = root.LoadCSV(*data, *data, *labeled)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var grid root.Grid
@@ -115,6 +165,10 @@ func main() {
 
 	var sup root.Supervision
 	switch {
+	case *dsetDir != "":
+		// Append-stable folds and per-fold supervision: the cached score
+		// of a fold no new row landed in stays valid across appends.
+		sup = corecvcp.StableLabels(*frac)
 	case *consPath != "":
 		cons, err := loadConstraints(*consPath)
 		if err != nil {
@@ -133,7 +187,7 @@ func main() {
 		fatal(err)
 	}
 
-	opt := root.Options{NFolds: *folds, Seed: *seed, Workers: *workers}
+	opt := root.Options{NFolds: *folds, Seed: *seed, Workers: *workers, CellCache: cellCache, CellStats: cellStats}
 	if *progress {
 		opt.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcvcp: %d/%d grid tasks", done, total)
@@ -168,12 +222,96 @@ func main() {
 		fmt.Printf("selected algorithm: %s\n", res.Winner.Algorithm)
 	}
 	fmt.Printf("selected parameter: %d\n", res.Winner.Best.Param)
+	if cellStats != nil {
+		fmt.Printf("grid cells computed: %d, reused from cache: %d\n", cellStats.Computed(), cellStats.Reused())
+	}
 	if !*quiet {
 		fmt.Println("final assignment (object cluster):")
 		for i, l := range res.Winner.FinalLabels {
 			fmt.Printf("%d %d\n", i, l)
 		}
 	}
+}
+
+// cellCacheEntries bounds the in-memory tier of the -dataset-dir cell
+// cache; the persistent tier (<dir>/cellcache) is unbounded.
+const cellCacheEntries = 4096
+
+// datasetDirOwner is the owning record of every cell score the
+// -dataset-dir cache persists. The file store's startup sweep deletes
+// cell records whose owner record is gone, so the owner is written before
+// any score is cached.
+const datasetDirOwner = "ds-local"
+
+// openDatasetDir replays the *.rowbatch files of dir (lexical order —
+// cmd/datagen -append names them so that this is batch order) into a
+// versioned dataset, snapshots its latest version, and opens the
+// persistent cell cache in dir/cellcache. Identical batch sequences build
+// bit-identical snapshots, so cached cell scores carry across runs: a
+// re-run after new batches recomputes only the dirtied folds.
+func openDatasetDir(dir string) (*root.Dataset, *runner.ScoreCache, func(), error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.rowbatch"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(paths) == 0 {
+		return nil, nil, nil, fmt.Errorf("no *.rowbatch files in %s (generate them with datagen -append)", dir)
+	}
+	sort.Strings(paths)
+	first, err := readBatch(paths[0])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if first.Labels == nil {
+		return nil, nil, nil, fmt.Errorf("%s: unlabeled batch (the incremental path needs Scenario I labels)", paths[0])
+	}
+	v := dataset.NewVersioned(filepath.Base(filepath.Clean(dir)), true)
+	if _, err := v.Append(first); err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", paths[0], err)
+	}
+	for _, p := range paths[1:] {
+		b, err := readBatch(p)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if _, err := v.Append(b); err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	ds, err := v.Snapshot(v.Version())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st, err := store.Open(filepath.Join(dir, "cellcache"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, ok, err := st.Get(datasetDirOwner); err != nil {
+		st.Close()
+		return nil, nil, nil, err
+	} else if !ok {
+		if err := st.Put(store.Record{ID: datasetDirOwner, Status: "dataset"}); err != nil {
+			st.Close()
+			return nil, nil, nil, err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cvcp: %s at version %d (%d batches, %d rows)\n", v.Name(), v.Version(), len(paths), v.N())
+	cache := runner.NewScoreCache(store.NewCellCache(st, datasetDirOwner), cellCacheEntries)
+	return ds, cache, func() { st.Close() }, nil
+}
+
+// readBatch decodes one encoded row-batch file.
+func readBatch(path string) (dataset.RowBatch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return dataset.RowBatch{}, err
+	}
+	defer f.Close()
+	b, err := dataset.DecodeRowBatch(f, 0)
+	if err != nil {
+		return dataset.RowBatch{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
 }
 
 // loadConstraints parses a constraint file: one constraint per line,

@@ -4,6 +4,13 @@
 //
 //	datagen -out ./data            # all datasets, default seed
 //	datagen -out ./data -aloisets 5 -seed 7
+//
+// With -append it instead emits encoded row-batch files — the growth
+// format cmd/cvcp -dataset-dir reads and POST /v1/datasets/{id}/rows
+// accepts — one file per batch index, deterministic per (seed, batch):
+//
+//	datagen -append -out ./growth -batches 3 -rows 40
+//	datagen -append -out ./growth -batches 1 -batch0 3 -rows 40  # next batch
 package main
 
 import (
@@ -21,11 +28,21 @@ func main() {
 		out      = flag.String("out", ".", "output directory")
 		seed     = flag.Int64("seed", 20140324, "generator seed")
 		aloiSets = flag.Int("aloisets", 3, "number of ALOI k5 sets to emit")
+		appendB  = flag.Bool("append", false, "emit row-batch files for a growing dataset instead of the CSV suites")
+		batches  = flag.Int("batches", 1, "number of row batches to emit (-append)")
+		batch0   = flag.Int("batch0", 0, "index of the first batch — continue a growth sequence where an earlier run stopped (-append)")
+		rows     = flag.Int("rows", 40, "rows per batch (-append)")
+		dims     = flag.Int("dims", 2, "attributes per row (-append)")
+		classes  = flag.Int("classes", 2, "number of classes (-append)")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
+	}
+	if *appendB {
+		emitBatches(*out, *seed, *batch0, *batches, *rows, *dims, *classes)
+		return
 	}
 	var all []*dataset.Dataset
 	all = append(all, datagen.ALOI(*seed, *aloiSets)...)
@@ -37,6 +54,32 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d objects, %d attributes, %d classes)\n",
 			path, ds.N(), ds.Dims(), ds.NumClasses())
+	}
+}
+
+// emitBatches writes batches encoded row-batch files starting at index
+// batch0. File names sort in batch order ("batch-000000.rowbatch", ...),
+// which is exactly the order cmd/cvcp -dataset-dir replays them in.
+func emitBatches(out string, seed int64, batch0, batches, rows, dims, classes int) {
+	if rows < 1 || dims < 1 || classes < 1 || batches < 1 || batch0 < 0 {
+		fatal(fmt.Errorf("-append wants positive -batches/-rows/-dims/-classes and a non-negative -batch0"))
+	}
+	for i := 0; i < batches; i++ {
+		idx := batch0 + i
+		b := datagen.GrowthBatch(seed, idx, rows, dims, classes)
+		path := filepath.Join(out, fmt.Sprintf("batch-%06d.rowbatch", idx))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dataset.EncodeRowBatch(f, b); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows, %d attributes, %d classes)\n", path, rows, dims, classes)
 	}
 }
 

@@ -101,6 +101,8 @@ var requiredAPIDocs = map[string][]string{
 		"matrix32", "shard_status", "-role", "-worker-id", "-shard-cells",
 		"-lease-ttl", "-poll",
 		"unauthorized", "quota_exceeded", "X-API-Key", "Bearer", "eps",
+		"dataset_id", "dataset_version", "/v1/datasets",
+		"cells_computed", "cells_reused",
 	},
 	"docs/operations.md": {
 		"cvcpd_jobs_submitted_total", "cvcpd_jobs_rejected_total",
@@ -109,6 +111,10 @@ var requiredAPIDocs = map[string][]string{
 		"cvcpd_wal_fsync_seconds", "cvcpd_store_compactions_total",
 		"cvcpd_shard_leases_total", "cvcpd_shard_reclaims_total",
 		"cvcpd_heartbeat_renewals_total",
+		"cvcpd_cellcache_hits_total", "cvcpd_cellcache_misses_total",
+		"cvcpd_cellcache_writes_total", "cvcpd_cellcache_write_failures_total",
+		"cvcpd_reselect_cells_dirty_total", "cvcpd_reselect_cells_reused_total",
+		"cvcpd_dataset_version", "cvcpd_dataset_cells_swept_total",
 		"-metrics", "-pprof-addr", "-api-keys",
 		"max_queued", "Authorization: Bearer", "/debug/pprof/",
 	},
@@ -116,6 +122,7 @@ var requiredAPIDocs = map[string][]string{
 		"Select", "Spec", "Grid", "Supervision", "Scorer",
 		"EventLog", "Last-Event-ID",
 		"coordinator", "dist.Worker", "lease", "epoch", "Float64bits",
+		"Versioned", "RowBatch", "StableFold", "ScoreCache",
 	},
 	"docs/static-analysis.md": {
 		"mapiter", "nondeterm", "lockio", "fpreduce", "metricreg",

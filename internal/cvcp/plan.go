@@ -87,14 +87,36 @@ func (p *CellPlan) NumCells() int { return p.cells }
 // machine-local budget — they affect scheduling only, never the scores,
 // which derive purely from grid position.
 func (p *CellPlan) ScoreRange(ctx context.Context, lo, hi int, workers int, limiter *runner.Limiter) ([]float64, error) {
+	scores, _, err := p.ScoreRangeCounted(ctx, lo, hi, workers, limiter)
+	return scores, err
+}
+
+// CellCounts reports how a scored cell range was obtained: Computed cells
+// ran their clustering this call (dirty), Reused cells came out of the
+// cell cache. Computed+Reused equals the range size.
+type CellCounts struct {
+	Computed int `json:"computed"`
+	Reused   int `json:"reused"`
+}
+
+// ScoreRangeCounted is ScoreRange plus the range's computed/reused cell
+// counts — the per-shard accounting distributed workers report back so
+// re-selection jobs can assert they scheduled strictly fewer cells. When
+// the plan's Options carry a CellStats, the counts are accumulated there
+// too.
+func (p *CellPlan) ScoreRangeCounted(ctx context.Context, lo, hi int, workers int, limiter *runner.Limiter) ([]float64, CellCounts, error) {
 	if lo < 0 || hi > p.cells || lo > hi {
-		return nil, fmt.Errorf("cvcp: cell range [%d, %d) outside grid of %d cells", lo, hi, p.cells)
+		return nil, CellCounts{}, fmt.Errorf("cvcp: cell range [%d, %d) outside grid of %d cells", lo, hi, p.cells)
 	}
+	counts := &CellStats{}
 	scores := newScoreGrid(p.grid, len(p.folds))
-	tasks := cellTasks(p.ds, p.grid, p.folds, p.opt.Seed, scores)
+	tasks := cellTasks(p.ds, p.grid, p.folds, p.opt, scores, counts)
 	ropt := runner.Options{Workers: workers, Context: ctx, Limiter: limiter}
 	if err := runner.RunRange(ropt, tasks, lo, hi); err != nil {
-		return nil, err
+		return nil, CellCounts{}, err
+	}
+	if p.opt.CellStats != nil {
+		p.opt.CellStats.add(counts.Computed(), counts.Reused())
 	}
 	out := make([]float64, 0, hi-lo)
 	c := 0
@@ -108,7 +130,7 @@ func (p *CellPlan) ScoreRange(ctx context.Context, lo, hi int, workers int, limi
 			}
 		}
 	}
-	return out, nil
+	return out, CellCounts{Computed: int(counts.Computed()), Reused: int(counts.Reused())}, nil
 }
 
 // Finalize merges a complete set of per-cell scores — cellScores[c] is

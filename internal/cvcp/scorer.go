@@ -183,7 +183,7 @@ func (v Validity) Score(ds *dataset.Dataset, grid Grid, sup Supervision, opt Opt
 // run is bit-identical to running each candidate alone.
 func partitionScore(ds *dataset.Dataset, grid Grid, folds []Fold, full *constraints.Set, opt Options) ([]*Selection, error) {
 	scores := newScoreGrid(grid, len(folds))
-	tasks := cellTasks(ds, grid, folds, opt.Seed, scores)
+	tasks := cellTasks(ds, grid, folds, opt, scores, opt.CellStats)
 	if err := runner.Run(opt.engineOptions(), tasks); err != nil {
 		return nil, err
 	}
@@ -214,7 +214,14 @@ func newScoreGrid(grid Grid, nFolds int) [][]ParamScore {
 // (stats.SplitSeed(seed, pi*len(folds)+fi+1)), exactly the derivation
 // the per-candidate legacy entry points used, so any contiguous subrange
 // computes bit-identically to those cells of the full grid.
-func cellTasks(ds *dataset.Dataset, grid Grid, folds []Fold, seed int64, scores [][]ParamScore) []runner.Task {
+//
+// A fold carrying its own sub-dataset (Fold.Data, stable supervisions) is
+// clustered on that sub-dataset; when it also carries a CacheKey and
+// opt.CellCache is set, the cell's score goes through the content-addressed
+// cell cache — a cache hit returns the identical bits the computation
+// would have produced. counts, when non-nil, tallies computed vs reused
+// cells.
+func cellTasks(ds *dataset.Dataset, grid Grid, folds []Fold, opt Options, scores [][]ParamScore, counts *CellStats) []runner.Task {
 	tasks := make([]runner.Task, 0)
 	for ci, cand := range grid {
 		for pi := range cand.Params {
@@ -222,12 +229,37 @@ func cellTasks(ds *dataset.Dataset, grid Grid, folds []Fold, seed int64, scores 
 				ci, pi, fi := ci, pi, fi
 				tasks = append(tasks, func(context.Context) error {
 					cand := grid[ci]
-					cellSeed := stats.SplitSeed(seed, pi*len(folds)+fi+1)
-					labels, err := cand.Algorithm.Cluster(ds, folds[fi].Train, cand.Params[pi], cellSeed)
-					if err != nil {
-						return fmt.Errorf("cvcp: %s with parameter %d: %w", cand.Algorithm.Name(), cand.Params[pi], err)
+					fold := folds[fi]
+					cellSeed := stats.SplitSeed(opt.Seed, pi*len(folds)+fi+1)
+					data := ds
+					if fold.Data != nil {
+						data = fold.Data
 					}
-					scores[ci][pi].FoldScores[fi] = eval.ConstraintF(labels, folds[fi].Test)
+					compute := func() (float64, error) {
+						labels, err := cand.Algorithm.Cluster(data, fold.Train, cand.Params[pi], cellSeed)
+						if err != nil {
+							return 0, fmt.Errorf("cvcp: %s with parameter %d: %w", cand.Algorithm.Name(), cand.Params[pi], err)
+						}
+						return eval.ConstraintF(labels, fold.Test), nil
+					}
+					var (
+						score  float64
+						reused bool
+						err    error
+					)
+					if opt.CellCache != nil && fold.CacheKey != "" {
+						key := cellKey(fold.CacheKey, algoCacheID(cand.Algorithm), cand.Params[pi], cellSeed)
+						score, reused, err = opt.CellCache.Do(key, compute)
+					} else {
+						score, err = compute()
+					}
+					if err != nil {
+						return err
+					}
+					if counts != nil {
+						counts.note(reused)
+					}
+					scores[ci][pi].FoldScores[fi] = score
 					return nil
 				})
 			}

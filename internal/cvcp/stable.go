@@ -1,0 +1,162 @@
+package cvcp
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+
+	"cvcp/internal/constraints"
+	"cvcp/internal/dataset"
+)
+
+// StableLabels is Scenario I supervision with stable-under-append fold
+// geometry — the supervision mode of versioned datasets. Where Labels
+// shuffles the labeled objects into folds (so one appended row reshuffles
+// everything), StableLabels assigns EVERY row to a fold by its row index
+// (dataset.StableFold) and evaluates each cell on the fold's own
+// sub-dataset:
+//
+//   - fold membership never changes for existing rows, so appending B rows
+//     dirties at most min(B, folds) folds;
+//   - a cell clusters only its fold's rows, with supervision rows selected
+//     and split into train/test constraint sets by a deterministic hash of
+//     (seed, fold-local position) — making the cell's score a pure
+//     function of (fold row content, frac, seed, candidate, parameter),
+//     which is what lets the content-addressed cell cache reuse it
+//     bit-identically across dataset versions.
+//
+// The refit (final clustering) always runs on the full dataset with the
+// union of every fold's supervision rows, so the selected parameter is
+// applied exactly as in the classic mode. frac is the fraction of each
+// fold's rows used as supervision, as in Labels.
+//
+// StableLabels supports only partition scorers that use cross-validation
+// folds; Full and BootstrapFolds return errors.
+func StableLabels(frac float64) Supervision { return stableLabelSupervision{frac: frac} }
+
+type stableLabelSupervision struct{ frac float64 }
+
+func (stableLabelSupervision) Kind() string { return "stable-labels" }
+
+func (stableLabelSupervision) Full(*dataset.Dataset) (*constraints.Set, error) {
+	return nil, fmt.Errorf("cvcp: stable-labels supervision requires the cross-validation scorer")
+}
+
+func (stableLabelSupervision) BootstrapFolds(*dataset.Dataset, int, int64) ([]Fold, *constraints.Set, error) {
+	return nil, nil, fmt.Errorf("cvcp: stable-labels supervision cannot be bootstrap-resampled (resamples are not stable under append)")
+}
+
+// minStableFoldRows is the smallest usable stable fold: at least four
+// supervision rows are forced per fold, so two land on each of the train
+// and test sides (the minimum from which a constraint can be derived).
+const minStableFoldRows = 4
+
+func (s stableLabelSupervision) CVFolds(ds *dataset.Dataset, n int, seed int64) ([]Fold, *constraints.Set, error) {
+	if !ds.Labeled() {
+		return nil, nil, fmt.Errorf("cvcp: Scenario I requires a labeled dataset")
+	}
+	if s.frac <= 0 || s.frac > 1 || math.IsNaN(s.frac) {
+		return nil, nil, fmt.Errorf("cvcp: stable-labels fraction %v outside (0, 1]", s.frac)
+	}
+	if n < 2 {
+		return nil, nil, fmt.Errorf("cvcp: stable folds require at least 2 folds, got %d", n)
+	}
+	if ds.N() < minStableFoldRows*n {
+		return nil, nil, fmt.Errorf("cvcp: %d rows cannot fill %d stable folds of at least %d rows", ds.N(), n, minStableFoldRows)
+	}
+	fracBits := math.Float64bits(s.frac)
+	folds := make([]Fold, n)
+	var refitIdx []int
+	for f := 0; f < n; f++ {
+		gidx := make([]int, 0, ds.N()/n+1)
+		for i := f; i < ds.N(); i += n {
+			gidx = append(gidx, i)
+		}
+		x := make([][]float64, len(gidx))
+		y := make([]int, len(gidx))
+		for j, gi := range gidx {
+			x[j] = ds.X[gi] // rows are never mutated; sharing them is safe
+			y[j] = ds.Y[gi]
+		}
+		sub := &dataset.Dataset{Name: fmt.Sprintf("%s#fold%d", ds.Name, f), X: x, Y: y}
+
+		selected := make([]int, 0, int(s.frac*float64(len(gidx)))+1)
+		for j := range gidx {
+			if stableSelect(seed, j, s.frac) {
+				selected = append(selected, j)
+			}
+		}
+		if len(selected) < minStableFoldRows {
+			// Deterministic fallback for sparse draws: the fold's first
+			// rows. Still a pure function of (seed, frac, fold size).
+			selected = selected[:0]
+			for j := 0; j < minStableFoldRows; j++ {
+				selected = append(selected, j)
+			}
+		}
+		var trainIdx, testIdx []int
+		for p, j := range selected {
+			if p%2 == 0 {
+				trainIdx = append(trainIdx, j)
+			} else {
+				testIdx = append(testIdx, j)
+			}
+		}
+		folds[f] = Fold{
+			Train:    constraints.FromLabels(trainIdx, y),
+			Test:     constraints.FromLabels(testIdx, y),
+			Data:     sub,
+			CacheKey: stableFoldKey(ds, gidx, fracBits, seed),
+		}
+		for _, j := range selected {
+			refitIdx = append(refitIdx, gidx[j])
+		}
+	}
+	// refitIdx is built fold-major; FromLabels derives pairwise constraints
+	// from set membership, so ordering does not matter — but sort anyway so
+	// the refit set is canonical.
+	sort.Ints(refitIdx)
+	return folds, constraints.FromLabels(refitIdx, ds.Y), nil
+}
+
+// stableSelect reports whether the fold-local row j is a supervision row:
+// a per-row hash of (seed, j) compared against frac. Each row's selection
+// is independent of every other row, so growing a fold never changes the
+// selection of its existing rows.
+func stableSelect(seed int64, j int, frac float64) bool {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(j)))
+	sum := sha256.Sum256(buf[:])
+	u := binary.LittleEndian.Uint64(sum[:8])
+	return float64(u>>11)/(1<<53) < frac
+}
+
+// stableFoldKey content-addresses one stable fold: the digest of its rows'
+// content (bit patterns plus labels) and the supervision parameters that
+// shape its train/test split. Together with the candidate, parameter and
+// cell seed (see cellKey) it covers every input of a cell's score.
+func stableFoldKey(ds *dataset.Dataset, gidx []int, fracBits uint64, seed int64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "stable-labels\x00%s\x00%x\x00%d", dataset.HashRows(ds.X, ds.Y, gidx), fracBits, seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cellKey content-addresses one cell of the selection grid: the fold's
+// content key plus the candidate's cache identity, the parameter and the
+// cell's derived seed. Hex, so it never collides with the store's record
+// ID separators.
+func cellKey(foldKey, algo string, param int, cellSeed int64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d", foldKey, algo, param, cellSeed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// algoCacheID is the cache identity of a candidate algorithm: its name
+// plus its configuration ("%+v" of the value), so configurations that
+// change scores — float32 matrices, ε-range drivers, iteration caps —
+// never share cache entries.
+func algoCacheID(a Algorithm) string { return fmt.Sprintf("%s|%+v", a.Name(), a) }

@@ -14,6 +14,15 @@ import (
 // Train via the transitive closure).
 type Fold struct {
 	Train, Test *constraints.Set
+	// Data, when non-nil, is the fold's own sub-dataset: the fold's cells
+	// cluster Data — with Train and Test in Data-local indices — instead
+	// of the full dataset. Stable supervisions (StableLabels) set it,
+	// making each cell's score a pure function of its fold's rows.
+	Data *dataset.Dataset
+	// CacheKey, when non-empty, content-addresses this fold for the cell
+	// cache: a digest of the fold's row content and supervision
+	// parameters. Cells of folds without a CacheKey are never cached.
+	CacheKey string
 }
 
 // Supervision is the partial ground truth driving a selection — the paper's

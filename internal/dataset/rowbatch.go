@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RowBatch is one append to a versioned dataset: a block of rows and, for
+// labeled datasets, their class labels (Labels is nil for unlabeled
+// batches). Batches are the unit of durability (one store record each) and
+// of the wire/file format below.
+type RowBatch struct {
+	Rows   [][]float64
+	Labels []int
+}
+
+// rowBatchMagic heads every encoded row batch; the "/1" is the format
+// version so a future layout can be told apart from a truncated file.
+const rowBatchMagic = "cvcp-rowbatch/1"
+
+// RowBatchMagic is the leading bytes of every encoded row batch. Callers
+// that accept either an encoded batch or plain CSV rows sniff it to pick
+// the decoder.
+const RowBatchMagic = rowBatchMagic
+
+// Validate checks the batch invariants shared by every producer and
+// consumer: at least one row, consistent dimensionality, finite values, and
+// a label count matching the row count when labels are present.
+func (b RowBatch) Validate() error {
+	if len(b.Rows) == 0 {
+		return fmt.Errorf("dataset: empty row batch")
+	}
+	dims := len(b.Rows[0])
+	if dims == 0 {
+		return fmt.Errorf("dataset: row batch with zero-dimensional rows")
+	}
+	for i, row := range b.Rows {
+		if len(row) != dims {
+			return fmt.Errorf("dataset: row batch row %d has %d attributes, want %d", i, len(row), dims)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("dataset: row batch row %d attribute %d is not finite", i, j)
+			}
+		}
+	}
+	if b.Labels != nil && len(b.Labels) != len(b.Rows) {
+		return fmt.Errorf("dataset: row batch has %d labels for %d rows", len(b.Labels), len(b.Rows))
+	}
+	return nil
+}
+
+// EncodeRowBatch writes the batch in its file/wire form: a one-line header
+// ("cvcp-rowbatch/1 labeled" or "... unlabeled") followed by the rows as
+// CSV in the dataset CSV encoding. Floats are formatted at full precision,
+// so DecodeRowBatch of EncodeRowBatch output is bit-identical.
+func EncodeRowBatch(w io.Writer, b RowBatch) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	kind := "unlabeled"
+	if b.Labels != nil {
+		kind = "labeled"
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", rowBatchMagic, kind); err != nil {
+		return err
+	}
+	ds := &Dataset{Name: "rowbatch", X: b.Rows, Y: b.Labels}
+	return ds.WriteCSV(w)
+}
+
+// DecodeRowBatch parses an encoded row batch and validates it. maxBytes
+// caps the input size when positive (exceeding it fails with a wrapped
+// *SizeError, as in ReadCSVLimited).
+func DecodeRowBatch(r io.Reader, maxBytes int64) (RowBatch, error) {
+	if maxBytes > 0 {
+		r = &limitReader{r: r, remaining: maxBytes, limit: maxBytes}
+	}
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return RowBatch{}, fmt.Errorf("dataset: reading row batch header: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 2 || fields[0] != rowBatchMagic {
+		return RowBatch{}, fmt.Errorf("dataset: not a row batch (header %q)", strings.TrimSpace(header))
+	}
+	var labeled bool
+	switch fields[1] {
+	case "labeled":
+		labeled = true
+	case "unlabeled":
+		labeled = false
+	default:
+		return RowBatch{}, fmt.Errorf("dataset: row batch header kind %q (want labeled or unlabeled)", fields[1])
+	}
+	ds, err := ReadCSV("rowbatch", br, labeled)
+	if err != nil {
+		return RowBatch{}, err
+	}
+	b := RowBatch{Rows: ds.X, Labels: ds.Y}
+	if err := b.Validate(); err != nil {
+		return RowBatch{}, err
+	}
+	return b, nil
+}

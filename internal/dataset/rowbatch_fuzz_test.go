@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzRowBatchDecode drives DecodeRowBatch with arbitrary bytes: it must
+// never panic, and any batch it accepts must satisfy the batch invariants
+// and re-encode/re-decode bit-identically (the property the cell cache's
+// content addressing depends on).
+func FuzzRowBatchDecode(f *testing.F) {
+	var seed bytes.Buffer
+	_ = EncodeRowBatch(&seed, RowBatch{Rows: [][]float64{{1.5, -2}, {0.25, 3}}, Labels: []int{0, 1}})
+	f.Add(seed.Bytes())
+	seed.Reset()
+	_ = EncodeRowBatch(&seed, RowBatch{Rows: [][]float64{{1e-300}, {math.Pi}}})
+	f.Add(seed.Bytes())
+	f.Add([]byte("cvcp-rowbatch/1 labeled\n1,2,3\n"))
+	f.Add([]byte("cvcp-rowbatch/1 unlabeled\n"))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeRowBatch(bytes.NewReader(data), 1<<16)
+		if err != nil {
+			return
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("decoded batch violates invariants: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeRowBatch(&buf, b); err != nil {
+			t.Fatalf("re-encoding a decoded batch: %v", err)
+		}
+		again, err := DecodeRowBatch(bytes.NewReader(buf.Bytes()), 0)
+		if err != nil {
+			t.Fatalf("re-decoding: %v", err)
+		}
+		if len(again.Rows) != len(b.Rows) || (again.Labels == nil) != (b.Labels == nil) {
+			t.Fatalf("round trip changed shape: %d/%d rows", len(again.Rows), len(b.Rows))
+		}
+		for i := range b.Rows {
+			for j := range b.Rows[i] {
+				if math.Float64bits(again.Rows[i][j]) != math.Float64bits(b.Rows[i][j]) {
+					t.Fatalf("row %d attr %d not bit-identical after round trip", i, j)
+				}
+			}
+			if b.Labels != nil && again.Labels[i] != b.Labels[i] {
+				t.Fatalf("label %d changed after round trip", i)
+			}
+		}
+	})
+}

@@ -34,6 +34,9 @@ type ShardEvent struct {
 	Worker string
 	// Done counts the job's finished shards as of this event.
 	Done int
+	// Reused, on done events, counts the shard's cells served from the
+	// shared cell cache (the partial's Reused field).
+	Reused int
 }
 
 // ShardFailed is the ShardEvent status of a shard whose partial carries
@@ -186,7 +189,7 @@ func (c *Coordinator) watch(ctx context.Context, job GridJob, ranges [][2]int, o
 						status = ShardFailed
 					}
 					onShard(ShardEvent{Shard: i, Shards: len(ranges), Lo: ranges[i][0], Hi: ranges[i][1],
-						Status: status, Worker: p.Worker, Done: collected})
+						Status: status, Worker: p.Worker, Done: collected, Reused: p.Reused})
 				}
 				continue
 			}

@@ -123,6 +123,11 @@ type Partial struct {
 	// in cell order — the bit-exact transport that makes the merged
 	// result identical to a single-node run.
 	ScoreBits []uint64 `json:"score_bits,omitempty"`
+	// Reused counts the cells of [Lo, Hi) the worker served from the
+	// shared cell cache instead of computing — observability for
+	// incremental re-selection (a cached score is bit-identical to the
+	// computation it replaced, so Reused never affects ScoreBits).
+	Reused int `json:"reused,omitempty"`
 	// Error, when non-empty, is the shard's failure message; ScoreBits
 	// is empty. Cell errors are deterministic (a function of spec and
 	// cell), so every recomputation reports the same failure.

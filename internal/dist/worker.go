@@ -176,7 +176,7 @@ func (w *Worker) tryAcquire(id string) (ShardState, int, bool) {
 func (w *Worker) process(ctx context.Context, st ShardState, epoch int) {
 	plan, err := w.plan(st.Job)
 	if err != nil {
-		w.finish(st, epoch, nil, err)
+		w.finish(st, epoch, nil, 0, err)
 		return
 	}
 
@@ -188,7 +188,7 @@ func (w *Worker) process(ctx context.Context, st ShardState, epoch int) {
 		w.heartbeat(cctx, cancel, st, epoch)
 	}()
 
-	scores, err := plan.ScoreRange(cctx, st.Lo, st.Hi, w.Workers, w.Limiter)
+	scores, counts, err := plan.ScoreRangeCounted(cctx, st.Lo, st.Hi, w.Workers, w.Limiter)
 	aborted := cctx.Err() != nil // read before our own cancel below taints it
 	cancel()
 	<-hbDone
@@ -197,7 +197,7 @@ func (w *Worker) process(ctx context.Context, st ShardState, epoch int) {
 		// same bits; write nothing.
 		return
 	}
-	w.finish(st, epoch, scores, err)
+	w.finish(st, epoch, scores, counts.Reused, err)
 }
 
 // plan returns the job's resolved cell plan, resolving and caching it on
@@ -315,12 +315,13 @@ func (w *Worker) heartbeat(ctx context.Context, cancel context.CancelFunc, st Sh
 // finish writes the shard's partial (scores or deterministic error) and
 // marks the shard done, both guarded by still holding the lease at the
 // epoch the shard was acquired with.
-func (w *Worker) finish(st ShardState, epoch int, scores []float64, cerr error) {
+func (w *Worker) finish(st ShardState, epoch int, scores []float64, reused int, cerr error) {
 	p := Partial{Job: st.Job, Index: st.Index, Lo: st.Lo, Hi: st.Hi, Worker: w.ID}
 	if cerr != nil {
 		p.Error = cerr.Error()
 	} else {
 		p.ScoreBits = encodeScores(scores)
+		p.Reused = reused
 	}
 	prec, err := partRecord(p)
 	if err != nil {

@@ -263,6 +263,71 @@ func (g *Gauge) write(w io.Writer) error {
 	return err
 }
 
+// GaugeVec is a gauge family partitioned by one label. Children are
+// created on first use, render sorted by label value, and can be
+// deleted when the labeled entity disappears (the series stops being
+// exported, rather than freezing at its last value forever).
+type GaugeVec struct {
+	nam, hlp, label string
+
+	mu       sync.Mutex
+	children map[string]*Gauge
+}
+
+// NewGaugeVec constructs and registers a one-label gauge family in the
+// default registry.
+func NewGaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{nam: name, hlp: help, label: label, children: map[string]*Gauge{}}
+	defaultRegistry.register(v)
+	return v
+}
+
+// With returns the child gauge for the given label value, creating it
+// on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[value]
+	if !ok {
+		g = &Gauge{}
+		v.children[value] = g
+	}
+	return g
+}
+
+// Delete drops the child for the given label value; a later With
+// recreates it at zero. Deleting an absent child is a no-op.
+func (v *GaugeVec) Delete(value string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.children, value)
+}
+
+func (v *GaugeVec) name() string { return v.nam }
+
+func (v *GaugeVec) write(w io.Writer) error {
+	if err := header(w, v.nam, v.hlp, "gauge"); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	values := make([]string, 0, len(v.children))
+	for val := range v.children {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	gauges := make([]int64, len(values))
+	for i, val := range values {
+		gauges[i] = v.children[val].Value()
+	}
+	v.mu.Unlock()
+	for i, val := range values {
+		if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", v.nam, v.label, escapeLabel(val), gauges[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Histogram is a fixed-bucket distribution. Buckets are upper bounds
 // (exclusive of +Inf, which is implicit); observation is a linear scan
 // over at most a few dozen bounds plus two atomics, no locks.

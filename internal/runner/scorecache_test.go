@@ -1,0 +1,162 @@
+package runner
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+// mapCellStore is an in-memory CellStore with switchable failure modes.
+type mapCellStore struct {
+	mu      sync.Mutex
+	m       map[string]uint64
+	failPut bool
+	failGet bool
+	puts    int
+	gets    int
+}
+
+func newMapCellStore() *mapCellStore { return &mapCellStore{m: map[string]uint64{}} }
+
+func (s *mapCellStore) GetCell(key string) (uint64, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	if s.failGet {
+		return 0, false, errors.New("get failed")
+	}
+	bits, ok := s.m[key]
+	return bits, ok, nil
+}
+
+func (s *mapCellStore) PutCell(key string, bits uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if s.failPut {
+		return errors.New("put failed")
+	}
+	s.m[key] = bits
+	return nil
+}
+
+func TestScoreCacheTiers(t *testing.T) {
+	st := newMapCellStore()
+	c := NewScoreCache(st, 64)
+	calls := 0
+	compute := func() (float64, error) { calls++; return 1.25, nil }
+
+	v, reused, err := c.Do("k1", compute)
+	if err != nil || v != 1.25 || reused || calls != 1 {
+		t.Fatalf("first lookup: v=%v reused=%v calls=%d err=%v", v, reused, calls, err)
+	}
+	// Memory hit.
+	v, reused, err = c.Do("k1", compute)
+	if err != nil || v != 1.25 || !reused || calls != 1 {
+		t.Fatalf("memory hit: v=%v reused=%v calls=%d err=%v", v, reused, calls, err)
+	}
+	// Persistent hit in a fresh process (new ScoreCache, same store).
+	c2 := NewScoreCache(st, 64)
+	v, reused, err = c2.Do("k1", func() (float64, error) { t.Fatal("computed despite store hit"); return 0, nil })
+	if err != nil || v != 1.25 || !reused {
+		t.Fatalf("store hit: v=%v reused=%v err=%v", v, reused, err)
+	}
+	if bits := st.m["k1"]; bits != math.Float64bits(1.25) {
+		t.Fatalf("stored bits %x", bits)
+	}
+}
+
+// TestScoreCachePutFailureDegrades is the degradation contract: a failing
+// write-back keeps the computed score, returns no error, and simply loses
+// persistence (the next process recomputes).
+func TestScoreCachePutFailureDegrades(t *testing.T) {
+	st := newMapCellStore()
+	st.failPut = true
+	c := NewScoreCache(st, 64)
+	v, reused, err := c.Do("k", func() (float64, error) { return 2.5, nil })
+	if err != nil || v != 2.5 || reused {
+		t.Fatalf("put failure leaked: v=%v reused=%v err=%v", v, reused, err)
+	}
+	if len(st.m) != 0 {
+		t.Fatal("failed put stored a value")
+	}
+	// The memory tier still serves the computed score.
+	v, reused, err = c.Do("k", func() (float64, error) { t.Fatal("recomputed in same process"); return 0, nil })
+	if err != nil || v != 2.5 || !reused {
+		t.Fatalf("memory tier after put failure: v=%v reused=%v err=%v", v, reused, err)
+	}
+	// A fresh process recomputes.
+	c2 := NewScoreCache(st, 64)
+	calls := 0
+	if _, _, err := c2.Do("k", func() (float64, error) { calls++; return 2.5, nil }); err != nil || calls != 1 {
+		t.Fatalf("fresh process: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestScoreCacheGetFailureComputes(t *testing.T) {
+	st := newMapCellStore()
+	st.m["k"] = math.Float64bits(9)
+	st.failGet = true
+	c := NewScoreCache(st, 64)
+	v, reused, err := c.Do("k", func() (float64, error) { return 3, nil })
+	if err != nil || v != 3 || reused {
+		t.Fatalf("get failure: v=%v reused=%v err=%v", v, reused, err)
+	}
+}
+
+func TestScoreCacheErrorRetries(t *testing.T) {
+	c := NewScoreCache(nil, 64)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (float64, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	// Errors are not cached: the next lookup recomputes.
+	v, reused, err := c.Do("k", func() (float64, error) { return 7, nil })
+	if err != nil || v != 7 || reused {
+		t.Fatalf("retry after error: v=%v reused=%v err=%v", v, reused, err)
+	}
+}
+
+func TestScoreCacheEviction(t *testing.T) {
+	c := NewScoreCache(nil, 2)
+	for _, k := range []string{"a", "b", "c"} {
+		if _, _, err := c.Do(k, func() (float64, error) { return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len=%d after eviction, want 2", c.Len())
+	}
+	// "a" was evicted; recomputing it is a miss.
+	_, reused, _ := c.Do("a", func() (float64, error) { return 1, nil })
+	if reused {
+		t.Fatal("evicted entry reported reused")
+	}
+}
+
+func TestScoreCacheSingleFlight(t *testing.T) {
+	c := NewScoreCache(nil, 64)
+	var calls int
+	var mu sync.Mutex
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, _, _ = c.Do("k", func() (float64, error) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				return 4, nil
+			})
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}

@@ -30,12 +30,15 @@ type distSpec struct {
 // distPlan reports whether the job can be distributed and returns its
 // cell plan. Only partition-based scorers shard (validity indices score
 // whole-dataset clusterings, not folds); a non-shardable job on a
-// coordinator simply runs locally.
-func distPlan(spec Spec, ds *dataset.Dataset) (*corecvcp.CellPlan, error) {
+// coordinator simply runs locally. cache, when non-nil, is the job's
+// cell cache — machine-local, threaded into the plan's options so the
+// plan's cells consult and populate it.
+func distPlan(spec Spec, ds *dataset.Dataset, cache *runner.ScoreCache) (*corecvcp.CellPlan, error) {
 	sel, err := buildSelectionSpec(spec, ds)
 	if err != nil {
 		return nil, err
 	}
+	sel.Options.CellCache = cache
 	return corecvcp.PlanCells(sel)
 }
 
@@ -61,6 +64,13 @@ func (m *Manager) executeDistributed(j *Job, ds dist.Store, plan *corecvcp.CellP
 			cellsDone += ev.Hi - ev.Lo
 			j.onProgress(cellsDone, plan.NumCells())
 		}
+		// Workers report how many of their shard's cells came from the
+		// shared cell cache; the coordinator sums the split into the
+		// job's stats so distributed re-selections report the same
+		// dirty/reused counters as single-node ones.
+		if ev.Status == dist.ShardDone && j.cellStats != nil {
+			j.cellStats.Add(int64(ev.Hi-ev.Lo-ev.Reused), int64(ev.Reused))
+		}
 	}
 	coord := &dist.Coordinator{Store: ds, ShardCells: m.cfg.ShardCells, Poll: m.cfg.Poll}
 	scores, err := coord.RunJob(j.ctx, job, j.dsBlob, onShard)
@@ -72,13 +82,25 @@ func (m *Manager) executeDistributed(j *Job, ds dist.Store, plan *corecvcp.CellP
 	j.finish(res, err)
 }
 
+// cellCacheEntries bounds the in-memory tier of a job's cell cache; the
+// persistent tier (the store's cell records) is unbounded.
+const cellCacheEntries = 4096
+
 // runJob dispatches one claimed job: coordinators distribute every job
 // whose store and scorer allow it, everything else (single role, a store
 // without atomic updates, a validity-scored job) computes locally.
+// Dataset-referencing jobs get their cell-cache wiring here — the cache
+// persists cell scores under the dataset's record ID, so later
+// re-selections (this process or the next one) reuse every clean fold's
+// cells.
 func (m *Manager) runJob(j *Job) {
+	if j.spec.DatasetID != "" {
+		j.cellStats = &corecvcp.CellStats{}
+		j.cellCache = runner.NewScoreCache(store.NewCellCache(m.store, j.spec.DatasetID), cellCacheEntries)
+	}
 	if m.cfg.Role == RoleCoordinator {
 		if ds, ok := m.store.(dist.Store); ok {
-			if plan, err := distPlan(j.spec, j.ds); err == nil {
+			if plan, err := distPlan(j.spec, j.ds, j.cellCache); err == nil {
 				m.executeDistributed(j, ds, plan)
 				return
 			}
@@ -121,7 +143,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	w := &dist.Worker{
 		Store:    ds,
 		ID:       cfg.ID,
-		Resolve:  resolvePlan,
+		Resolve:  resolvePlan(cfg.Store),
 		Workers:  cfg.Workers,
 		Limiter:  runner.NewLimiter(workerBudget(cfg.Workers)),
 		LeaseTTL: cfg.LeaseTTL,
@@ -137,28 +159,39 @@ func workerBudget(workers int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// resolvePlan is the worker's dist.Worker.Resolve hook: it decodes the
-// coordinator's grid record — job spec and dataset payload — and builds
-// the cell plan. Both decodes are strict: a field mismatch means the
-// coordinator runs a different version of this code, and silently
-// ignoring the difference could split scores across versions.
-func resolvePlan(job dist.GridJob, datasetBlob json.RawMessage) (*corecvcp.CellPlan, error) {
-	var sp distSpec
-	if err := strictUnmarshal(job.Spec, &sp); err != nil {
-		return nil, fmt.Errorf("server: decoding grid spec of %s: %w", job.ID, err)
+// resolvePlan returns the worker's dist.Worker.Resolve hook, bound to
+// the worker's shared store: it decodes the coordinator's grid record —
+// job spec and dataset payload — and builds the cell plan. Both decodes
+// are strict: a field mismatch means the coordinator runs a different
+// version of this code, and silently ignoring the difference could split
+// scores across versions. Dataset-referencing jobs get a store-backed
+// cell cache (the plan is cached per job by the worker, so the cache
+// lives for all the worker's shards of that job): cells another process
+// already scored are served from the shared store instead of recomputed,
+// and the worker reports the split in its partials.
+func resolvePlan(s store.Store) func(dist.GridJob, json.RawMessage) (*corecvcp.CellPlan, error) {
+	return func(job dist.GridJob, datasetBlob json.RawMessage) (*corecvcp.CellPlan, error) {
+		var sp distSpec
+		if err := strictUnmarshal(job.Spec, &sp); err != nil {
+			return nil, fmt.Errorf("server: decoding grid spec of %s: %w", job.ID, err)
+		}
+		var dr datasetRecord
+		if err := strictUnmarshal(datasetBlob, &dr); err != nil {
+			return nil, fmt.Errorf("server: decoding dataset of %s: %w", job.ID, err)
+		}
+		// ReadCSV of WriteCSV output is bit-identical (full float64
+		// precision), so the worker scores the exact dataset the
+		// coordinator plans over.
+		ds, err := dataset.ReadCSV(sp.DatasetName, strings.NewReader(dr.CSV), dr.HasLabel)
+		if err != nil {
+			return nil, fmt.Errorf("server: rebuilding dataset of %s: %w", job.ID, err)
+		}
+		var cache *runner.ScoreCache
+		if sp.Spec.DatasetID != "" {
+			cache = runner.NewScoreCache(store.NewCellCache(s, sp.Spec.DatasetID), cellCacheEntries)
+		}
+		return distPlan(sp.Spec, ds, cache)
 	}
-	var dr datasetRecord
-	if err := strictUnmarshal(datasetBlob, &dr); err != nil {
-		return nil, fmt.Errorf("server: decoding dataset of %s: %w", job.ID, err)
-	}
-	// ReadCSV of WriteCSV output is bit-identical (full float64
-	// precision), so the worker scores the exact dataset the coordinator
-	// plans over.
-	ds, err := dataset.ReadCSV(sp.DatasetName, strings.NewReader(dr.CSV), dr.HasLabel)
-	if err != nil {
-		return nil, fmt.Errorf("server: rebuilding dataset of %s: %w", job.ID, err)
-	}
-	return distPlan(sp.Spec, ds)
 }
 
 func strictUnmarshal(data []byte, v any) error {

@@ -25,6 +25,11 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", a.authed(a.events))
 	mux.HandleFunc("POST /v1/batches", a.authed(a.submitBatch))
 	mux.HandleFunc("GET /v1/batches/{id}", a.authed(a.getBatch))
+	mux.HandleFunc("POST /v1/datasets", a.authed(a.createDataset))
+	mux.HandleFunc("GET /v1/datasets", a.authed(a.listDatasets))
+	mux.HandleFunc("GET /v1/datasets/{id}", a.authed(a.getDataset))
+	mux.HandleFunc("DELETE /v1/datasets/{id}", a.authed(a.deleteDataset))
+	mux.HandleFunc("POST /v1/datasets/{id}/rows", a.authed(a.appendRows))
 	mux.HandleFunc("GET /healthz", a.health)
 	if !m.Config().DisableMetrics {
 		mux.Handle("GET /metrics", metrics.Handler())
@@ -53,6 +58,16 @@ func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 	maxBody := a.m.Config().MaxBodyBytes
 	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	spec, ds, apiErr := parseSubmission(r, maxBody)
+	if apiErr == nil && spec.DatasetID != "" {
+		// Dataset-referencing job: materialize the pinned snapshot (this
+		// also writes the resolved version into the spec) and validate
+		// the options against it — the step inline-CSV submissions ran
+		// inside the parser.
+		ds, apiErr = a.m.SnapshotForJob(&spec)
+		if apiErr == nil {
+			spec, ds, apiErr = finishSpec(spec, ds)
+		}
+	}
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return

@@ -91,6 +91,18 @@ type Spec struct {
 	// in the spec keeps quota and fair-queue accounting correct across a
 	// restart's re-queue.
 	Tenant string `json:"tenant,omitempty"`
+	// DatasetID, when set, points the job at a registered versioned
+	// dataset instead of an inline CSV payload. Dataset jobs run the
+	// stable supervision (cvcp.StableLabels): fold assignment and label
+	// sampling depend only on row index and seed, never on dataset size,
+	// so a re-selection after appends reuses every clean fold's cells
+	// from the content-addressed cell cache. Requires LabelFraction.
+	DatasetID string `json:"dataset_id,omitempty"`
+	// DatasetVersion pins the dataset version the job runs against. 0 at
+	// submission means the current version; the handler resolves the pin
+	// and writes it back before the job persists, so a restart's re-queue
+	// (and every distributed worker) sees exactly the same rows.
+	DatasetVersion int `json:"dataset_version,omitempty"`
 	// Exactly one of LabelFraction / Constraints is set: LabelFraction > 0
 	// runs Scenario I (labels sampled from the dataset's label column with
 	// the job seed, exactly as cmd/cvcp does), a non-empty Constraints list
@@ -241,6 +253,13 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// Cell-cache wiring of dataset-referencing jobs, installed by
+	// Manager.runJob before execution (nil for inline-CSV jobs). Both are
+	// machine-local: a cached score is bit-identical to the computation
+	// it replaced, so neither ever affects results.
+	cellCache *runner.ScoreCache
+	cellStats *corecvcp.CellStats
 
 	log jobEventLog // durable event mirror; never nil
 
@@ -529,6 +548,13 @@ func (j *Job) finish(res *corecvcp.Result, err error) {
 	case err == nil:
 		j.status = StatusDone
 		j.result = resultView(res, len(j.spec.Algorithms) > 0)
+		if j.result != nil && j.cellStats != nil {
+			c, r := j.cellStats.Computed(), j.cellStats.Reused()
+			j.result.CellsComputed = int(c)
+			j.result.CellsReused = int(r)
+			mReselectDirty.Add(uint64(c))
+			mReselectReused.Add(uint64(r))
+		}
 	case j.ctx.Err() != nil:
 		j.status = StatusCancelled
 	default:
@@ -571,6 +597,8 @@ func (j *Job) execute(limiter *runner.Limiter, workers int) {
 	spec.Options.Workers = workers
 	spec.Options.Progress = j.onProgress
 	spec.Options.Limiter = limiter
+	spec.Options.CellCache = j.cellCache
+	spec.Options.CellStats = j.cellStats
 	res, err := corecvcp.Select(j.ctx, spec)
 	j.finish(res, err)
 }
@@ -610,13 +638,21 @@ func buildSelectionSpec(spec Spec, ds *dataset.Dataset) (corecvcp.Spec, error) {
 		grid = append(grid, corecvcp.Candidate{Algorithm: alg, Params: params})
 	}
 	var sup corecvcp.Supervision
-	if len(spec.Constraints) > 0 {
+	switch {
+	case len(spec.Constraints) > 0:
 		cons := constraints.NewSet()
 		for _, c := range spec.Constraints {
 			cons.Add(c.A, c.B, c.MustLink)
 		}
 		sup = corecvcp.ConstraintSet(cons)
-	} else {
+	case spec.DatasetID != "":
+		// Dataset-referencing jobs use the stable supervision: per-row
+		// label selection and fold assignment that never move under
+		// append, the contract the cell cache's reuse guarantee is built
+		// on. DatasetID travels in the persisted spec, so a coordinator
+		// and every worker route here identically.
+		sup = corecvcp.StableLabels(spec.LabelFraction)
+	default:
 		// Scenario I: sample the labeled objects exactly as cmd/cvcp does,
 		// so a job replays identically to the CLI with the same seed.
 		r := stats.NewRand(spec.Seed)
@@ -651,6 +687,13 @@ type ResultView struct {
 	BestScore   float64     `json:"best_score"`
 	Scores      []ScoreView `json:"scores"`
 	FinalLabels []int       `json:"final_labels"`
+	// CellsComputed and CellsReused split the job's cell-grid work for
+	// dataset-referencing jobs: cells computed this run (dirty under the
+	// current dataset version) versus served from the persistent cell
+	// cache. Reused cells are bit-identical to recomputation, so the
+	// split is pure observability. Both absent for inline-CSV jobs.
+	CellsComputed int `json:"cells_computed,omitempty"`
+	CellsReused   int `json:"cells_reused,omitempty"`
 	// Candidates summarizes every grid candidate of a cross-method
 	// ("algorithms") job — including the winner, and even when the list
 	// named a single method, so clients can rely on the field's presence
@@ -722,6 +765,8 @@ type JobView struct {
 	Eps        float64     `json:"eps,omitempty"`
 	Tenant     string      `json:"tenant,omitempty"`
 	Dataset    string      `json:"dataset"`
+	DatasetID  string      `json:"dataset_id,omitempty"`
+	DatasetVer int         `json:"dataset_version,omitempty"`
 	Objects    int         `json:"objects"`
 	Params     []int       `json:"params"`
 	Folds      int         `json:"folds"`
@@ -750,6 +795,8 @@ func (j *Job) View() JobView {
 		Eps:        j.spec.Eps,
 		Tenant:     j.spec.Tenant,
 		Dataset:    j.dsName,
+		DatasetID:  j.spec.DatasetID,
+		DatasetVer: j.spec.DatasetVersion,
 		Objects:    j.objects,
 		Params:     j.spec.Params,
 		Folds:      j.spec.NFolds,

@@ -71,6 +71,14 @@ type Manager struct {
 	reservedBy map[string]int // reserved, per tenant (for quota accounting)
 	draining   bool
 
+	// nextDataset mints dataset IDs; guarded by mu like the job counters.
+	nextDataset int
+
+	// dsMu guards the dataset registry. It is ordered after mu (never
+	// held while taking mu) and never held across store writes.
+	dsMu     sync.Mutex
+	datasets map[string]*managedDataset
+
 	// metaMu serializes counter high-water-mark writes so a stale
 	// snapshot can never overwrite a newer one (see applyEviction).
 	metaMu sync.Mutex
@@ -102,6 +110,7 @@ func NewManager(cfg Config) *Manager {
 		jobs:       map[string]*Job{},
 		batches:    map[string]*batchState{},
 		reservedBy: map[string]int{},
+		datasets:   map[string]*managedDataset{},
 	}
 	for _, t := range cfg.Tenants {
 		m.tenants[t.Name] = t
@@ -210,7 +219,21 @@ func (m *Manager) restore(rec store.Record) {
 			if meta.NextBatch > m.nextBatch {
 				m.nextBatch = meta.NextBatch
 			}
+			if meta.NextDataset > m.nextDataset {
+				m.nextDataset = meta.NextDataset
+			}
 		}
+		return
+	}
+	// Dataset records: metas sort before their row batches ("ds-" < "dsb-"),
+	// so every batch replays into an already-restored registry entry. The
+	// "dsb-" test must come first — "ds-" is its prefix too.
+	if strings.HasPrefix(rec.ID, datasetBatchPrefix) {
+		m.restoreDatasetRows(rec)
+		return
+	}
+	if strings.HasPrefix(rec.ID, datasetPrefix) {
+		m.restoreDatasetMeta(rec)
 		return
 	}
 	if !strings.HasPrefix(rec.ID, "job-") {
@@ -349,7 +372,7 @@ func (m *Manager) applyEviction(evicted []string, writeMeta bool) {
 	if writeMeta {
 		m.metaMu.Lock()
 		m.mu.Lock()
-		spec, _ := json.Marshal(metaRecord{NextID: m.nextID, NextBatch: m.nextBatch})
+		spec, _ := json.Marshal(metaRecord{NextID: m.nextID, NextBatch: m.nextBatch, NextDataset: m.nextDataset})
 		m.mu.Unlock()
 		//cvcplint:ignore lockio metaMu exists to serialize exactly this meta write (last writer must persist a covering value); the manager's hot mutex m.mu is released above
 		_ = m.store.Put(store.Record{ID: metaID, Status: "meta", Spec: spec})

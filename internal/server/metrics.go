@@ -24,6 +24,14 @@ var (
 		"End-to-end job latency, submission to terminal state.", metrics.DurationBuckets)
 	mAuthFailures = metrics.NewCounter("cvcpd_auth_failures_total",
 		"API requests rejected for a missing or unknown API key.")
+	mDatasetVersion = metrics.NewGaugeVec("cvcpd_dataset_version",
+		"Current version of each registered dataset; the series disappears when the dataset is deleted.", "dataset")
+	mDatasetCellsSwept = metrics.NewCounter("cvcpd_dataset_cells_swept_total",
+		"Cell-cache records deleted by dataset deletion sweeps.")
+	mReselectDirty = metrics.NewCounter("cvcpd_reselect_cells_dirty_total",
+		"Cells computed (not served from the cell cache) by dataset-referencing selection jobs.")
+	mReselectReused = metrics.NewCounter("cvcpd_reselect_cells_reused_total",
+		"Cells served from the cell cache by dataset-referencing selection jobs.")
 )
 
 // rejectReason maps a submission error to its rejection-counter label.

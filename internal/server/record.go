@@ -211,6 +211,8 @@ func viewFromRecord(rec store.Record) JobView {
 		Eps:        sr.Spec.Eps,
 		Tenant:     sr.Spec.Tenant,
 		Dataset:    sr.DatasetName,
+		DatasetID:  sr.Spec.DatasetID,
+		DatasetVer: sr.Spec.DatasetVersion,
 		Objects:    sr.Objects,
 		Params:     sr.Spec.Params,
 		Folds:      sr.Spec.NFolds,
@@ -248,6 +250,11 @@ const metaID = "_meta"
 type metaRecord struct {
 	NextID    int `json:"next_id"`
 	NextBatch int `json:"next_batch"`
+	// NextDataset covers dataset IDs the same way. Reusing a deleted
+	// dataset's ID would be benign for scores (cell cache keys are
+	// content-addressed), but the high-water mark keeps IDs unambiguous
+	// in logs and metrics.
+	NextDataset int `json:"next_dataset,omitempty"`
 }
 
 // numericSuffix parses the numeric tail of a "prefix-000123" identifier;

@@ -30,6 +30,8 @@ type jobRequest struct {
 	Name            string           `json:"name"`
 	CSV             string           `json:"csv"`
 	HasLabel        bool             `json:"has_label"`
+	DatasetID       string           `json:"dataset_id"`
+	DatasetVersion  int              `json:"dataset_version"`
 	Algorithm       string           `json:"algorithm"`
 	Algorithms      []string         `json:"algorithms"`
 	Scorer          string           `json:"scorer"`
@@ -77,6 +79,26 @@ func parseJSONSubmission(r *http.Request, maxBody int64) (Spec, *dataset.Dataset
 	var req jobRequest
 	if apiErr := decodeStrictJSON(r.Body, &req); apiErr != nil {
 		return Spec{}, nil, apiErr
+	}
+	if req.DatasetID != "" {
+		// Dataset-referencing job: the rows come from a registered
+		// versioned dataset, not the request. The handler resolves the
+		// snapshot (pinning the version) and runs finishSpec against it;
+		// this parse only assembles the options.
+		if req.CSV != "" {
+			return Spec{}, nil, badRequest("invalid_request", `"csv" and "dataset_id" are mutually exclusive`)
+		}
+		if req.HasLabel {
+			return Spec{}, nil, badRequest("invalid_request", `"has_label" is a property of the registered dataset, not of a "dataset_id" job`)
+		}
+		spec, apiErr := specFromRequest(req)
+		if apiErr != nil {
+			return Spec{}, nil, apiErr
+		}
+		return spec, nil, nil
+	}
+	if req.DatasetVersion != 0 {
+		return Spec{}, nil, badRequest("invalid_request", `"dataset_version" requires "dataset_id"`)
 	}
 	if req.CSV == "" {
 		return Spec{}, nil, badRequest("invalid_request", `JSON submissions require a non-empty "csv" field`)
@@ -127,7 +149,12 @@ func specFromRequest(req jobRequest) (Spec, *apiError) {
 		Seed:            req.Seed,
 		Matrix32:        req.Matrix32,
 		Eps:             req.Eps,
+		DatasetID:       req.DatasetID,
+		DatasetVersion:  req.DatasetVersion,
 		LabelFraction:   req.LabelFraction,
+	}
+	if spec.DatasetVersion < 0 {
+		return Spec{}, badRequest("invalid_request", "dataset_version must be >= 0 (0 means the current version)")
 	}
 	if len(spec.Params) == 0 && (req.ParamMin != 0 || req.ParamMax != 0) {
 		var apiErr *apiError
@@ -459,6 +486,32 @@ func finishSpec(spec Spec, ds *dataset.Dataset) (Spec, *dataset.Dataset, *apiErr
 	}
 	hasLabels := spec.LabelFraction != 0
 	hasCons := len(spec.Constraints) > 0
+	if spec.DatasetID != "" {
+		// Dataset-referencing jobs run the stable supervision, which only
+		// cross-validates (no bootstrap resamples, no whole-dataset
+		// validity scoring) and derives everything from label_fraction.
+		if hasCons {
+			return Spec{}, nil, badRequest("invalid_request", "dataset jobs use stable label supervision; constraints are not supported")
+		}
+		if !hasLabels {
+			return Spec{}, nil, badRequest("invalid_request", "dataset jobs require label_fraction supervision")
+		}
+		if spec.Scorer != "" && spec.Scorer != "cv" {
+			return Spec{}, nil, badRequest("invalid_request", `dataset jobs support only the cross-validation scorer (scorer "cv")`)
+		}
+		// The stable fold geometry needs every fold populated with at
+		// least 4 rows (ds here is the resolved version's snapshot).
+		folds := spec.NFolds
+		if folds == 0 {
+			folds = 10
+		}
+		if folds < 2 {
+			return Spec{}, nil, badRequest("invalid_request", "dataset jobs need at least 2 folds")
+		}
+		if ds.N() < 4*folds {
+			return Spec{}, nil, badRequest("invalid_request", "dataset version has %d rows, too few for %d stable folds of at least 4 rows", ds.N(), folds)
+		}
+	}
 	if spec.Scorer == "bootstrap" && !hasLabels {
 		return Spec{}, nil, badRequest("invalid_request", `scorer "bootstrap" requires label_fraction supervision`)
 	}

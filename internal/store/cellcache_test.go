@@ -1,0 +1,145 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCellCacheRoundTrip(t *testing.T) {
+	s := NewMemory()
+	c := NewCellCache(s, "ds-000000001")
+	if _, ok, err := c.GetCell("deadbeef"); err != nil || ok {
+		t.Fatalf("empty cache: ok=%v err=%v", ok, err)
+	}
+	bits := math.Float64bits(0.625)
+	if err := c.PutCell("deadbeef", bits); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.GetCell("deadbeef")
+	if err != nil || !ok || got != bits {
+		t.Fatalf("get: bits=%x ok=%v err=%v", got, ok, err)
+	}
+	// Cells of one owner are invisible to another.
+	other := NewCellCache(s, "ds-000000002")
+	if _, ok, _ := other.GetCell("deadbeef"); ok {
+		t.Fatal("cell leaked across owners")
+	}
+}
+
+func TestParseCellOwner(t *testing.T) {
+	id := CellID("ds-000000007", "abc123")
+	owner, ok := ParseCellOwner(id)
+	if !ok || owner != "ds-000000007" {
+		t.Fatalf("owner=%q ok=%v", owner, ok)
+	}
+	for _, bad := range []string{"job-000000001", "cell-", "cell-x", "ds-000000001"} {
+		if _, ok := ParseCellOwner(bad); ok {
+			t.Errorf("ParseCellOwner(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestSweepCells(t *testing.T) {
+	s := NewMemory()
+	a := NewCellCache(s, "ds-000000001")
+	b := NewCellCache(s, "ds-000000002")
+	for _, k := range []string{"aa", "bb", "cc"} {
+		if err := a.PutCell(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.PutCell("dd", 2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SweepCells(s, "ds-000000001")
+	if err != nil || n != 3 {
+		t.Fatalf("swept %d err=%v, want 3", n, err)
+	}
+	if _, ok, _ := a.GetCell("aa"); ok {
+		t.Fatal("swept owner still has cells")
+	}
+	if _, ok, _ := b.GetCell("dd"); !ok {
+		t.Fatal("sweep removed another owner's cell")
+	}
+}
+
+// TestFileOpenSweepsOrphanCells is the crash-recovery half of dataset
+// eviction: cell records whose owning dataset record is gone are durably
+// deleted at Open, mirroring the orphan event-log sweep.
+func TestFileOpenSweepsOrphanCells(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put(Record{ID: "ds-000000001", Status: "dataset"}); err != nil {
+		t.Fatal(err)
+	}
+	owned := NewCellCache(f, "ds-000000001")
+	if err := owned.PutCell("aaaa", 7); err != nil {
+		t.Fatal(err)
+	}
+	// An orphan: cells of a dataset whose record was deleted without the
+	// cell sweep (the crash window).
+	orphan := NewCellCache(f, "ds-000000002")
+	if err := orphan.PutCell("bbbb", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := NewCellCache(f2, "ds-000000001").GetCell("aaaa"); !ok {
+		t.Fatal("owned cell swept")
+	}
+	if _, ok, _ := NewCellCache(f2, "ds-000000002").GetCell("bbbb"); ok {
+		t.Fatal("orphan cell survived Open")
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sweep is durable: a third Open (after the second one's WAL
+	// delete entries) still shows no orphan.
+	f3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Close()
+	if _, ok, _ := NewCellCache(f3, "ds-000000002").GetCell("bbbb"); ok {
+		t.Fatal("orphan cell resurrected")
+	}
+}
+
+// TestFileOpenSweepSurvivesSnapshot ensures orphaned cells baked into a
+// snapshot (not just the WAL) are swept too.
+func TestFileOpenSweepSurvivesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewCellCache(f, "ds-000000009").PutCell("cccc", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // Close compacts into the snapshot
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if _, ok, _ := NewCellCache(f2, "ds-000000009").GetCell("cccc"); ok {
+		t.Fatal("orphan cell from snapshot survived")
+	}
+}

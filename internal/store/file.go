@@ -141,6 +141,29 @@ func Open(dir string) (*File, error) {
 			f.tab.dropEvents(id)
 		}
 	}
+	// Sweep cell-cache records whose owning dataset record is gone: a
+	// crash between a dataset eviction's record delete and its cell sweep
+	// (see SweepCells) leaves them behind, and — like orphan event logs —
+	// nothing else would ever delete them. Durable for the same reason:
+	// an in-memory-only sweep would resurrect the orphans from the WAL on
+	// the next Open.
+	var orphanCells []string
+	for _, id := range f.tab.ids {
+		owner, ok := ParseCellOwner(id)
+		if !ok {
+			continue
+		}
+		if _, ok := f.tab.recs[owner]; !ok {
+			orphanCells = append(orphanCells, id)
+		}
+	}
+	for _, id := range orphanCells {
+		if err := f.append(walEntry{Delete: id}, true); err != nil {
+			f.wal.Close()
+			return nil, fmt.Errorf("store: sweeping orphan cell record %s: %w", id, err)
+		}
+		f.tab.delete(id)
+	}
 	return f, nil
 }
 
